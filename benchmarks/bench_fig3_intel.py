@@ -1,0 +1,71 @@
+"""Figure 3 — performance relative to splatt-all on the 18-core Intel
+Cascade Lake machine model, R ∈ {32, 64}.
+
+Regenerates the bar-chart series (one row per tensor, one column per
+method, values are speedup over splatt-all — higher is better) from the
+simulated-time channel (counted traffic x load-imbalance on the Intel
+machine model), plus the Section VI-B geometric-mean speedup sentence for
+STeF and STeF2.  pytest-benchmark additionally wall-times one MTTKRP set
+per method on a representative tensor.
+"""
+
+import pytest
+
+from common import bench_suite, bench_tensor, emit
+from repro.analysis import (
+    format_table,
+    geomean_speedups,
+    relative_performance,
+    run_comparison,
+)
+from repro.baselines import ALL_BACKENDS
+from repro.cpd import random_init
+from repro.parallel import INTEL_CLX_18
+
+METHODS = ("stef", "stef2", "adatm", "alto", "splatt-1", "splatt-2", "splatt-all", "taco")
+MACHINE = INTEL_CLX_18
+
+
+@pytest.mark.parametrize("rank", [32, 64])
+def test_figure3_series(benchmark, rank):
+    grid = benchmark.pedantic(
+        run_comparison,
+        args=(bench_suite(),),
+        kwargs=dict(rank=rank, machine=MACHINE, methods=METHODS),
+        rounds=1,
+        iterations=1,
+    )
+    rel = relative_performance(grid)
+    table = format_table(
+        rel,
+        list(METHODS),
+        title=(
+            f"Figure 3 — perf relative to splatt-all "
+            f"({MACHINE.name}, R={rank}, simulated-traffic channel)"
+        ),
+    )
+    lines = [table, ""]
+    for method in ("stef", "stef2"):
+        sp = geomean_speedups(
+            rel, method, [m for m in METHODS if m != method]
+        )
+        pretty = ", ".join(f"{k}: {v:.2f}x" for k, v in sp.items())
+        lines.append(f"geomean speedup of {method}: {pretty}")
+    emit(f"fig3_intel_r{rank}.txt", "\n".join(lines))
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_mttkrp_set_wall_time(benchmark, method):
+    """Wall-clock of one full MTTKRP set per method (flickr-4d)."""
+    tensor = bench_tensor("flickr-4d")
+    rank = 32
+    backend = ALL_BACKENDS[method](
+        tensor, rank, machine=MACHINE, num_threads=4
+    )
+    factors = random_init(tensor.shape, rank, 0)
+
+    def one_set():
+        for level in range(tensor.ndim):
+            backend.mttkrp_level(factors, level)
+
+    benchmark.pedantic(one_set, rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,65 @@
+"""Figure 4 — performance relative to splatt-all on the 64-core AMD
+Threadripper machine model, R ∈ {32, 64}.
+
+Same series as Figure 3 on the second machine: more threads (slice-based
+schemes starve harder on few-slice tensors) and a 10x larger L3 (the
+``DM_factor`` cache rule keeps more factor matrices resident, shifting
+which tensors hit the paper's "sharp slow down" cases).
+"""
+
+import pytest
+
+from common import bench_suite, bench_tensor, emit
+from repro.analysis import (
+    format_table,
+    geomean_speedups,
+    relative_performance,
+    run_comparison,
+)
+from repro.baselines import ALL_BACKENDS
+from repro.cpd import random_init
+from repro.parallel import AMD_TR_64
+
+METHODS = ("stef", "stef2", "adatm", "alto", "splatt-1", "splatt-2", "splatt-all", "taco")
+MACHINE = AMD_TR_64
+
+
+@pytest.mark.parametrize("rank", [32, 64])
+def test_figure4_series(benchmark, rank):
+    grid = benchmark.pedantic(
+        run_comparison,
+        args=(bench_suite(),),
+        kwargs=dict(rank=rank, machine=MACHINE, methods=METHODS),
+        rounds=1,
+        iterations=1,
+    )
+    rel = relative_performance(grid)
+    table = format_table(
+        rel,
+        list(METHODS),
+        title=(
+            f"Figure 4 — perf relative to splatt-all "
+            f"({MACHINE.name}, R={rank}, simulated-traffic channel)"
+        ),
+    )
+    lines = [table, ""]
+    for method in ("stef", "stef2"):
+        sp = geomean_speedups(rel, method, [m for m in METHODS if m != method])
+        pretty = ", ".join(f"{k}: {v:.2f}x" for k, v in sp.items())
+        lines.append(f"geomean speedup of {method}: {pretty}")
+    emit(f"fig4_amd_r{rank}.txt", "\n".join(lines))
+
+
+@pytest.mark.parametrize("method", ["stef", "stef2", "splatt-all", "alto"])
+def test_mttkrp_set_wall_time_vast(benchmark, method):
+    """Wall-clock of one MTTKRP set on the load-balance stress tensor."""
+    tensor = bench_tensor("vast-2015-mc1-3d")
+    rank = 32
+    backend = ALL_BACKENDS[method](tensor, rank, machine=MACHINE, num_threads=8)
+    factors = random_init(tensor.shape, rank, 0)
+
+    def one_set():
+        for level in range(tensor.ndim):
+            backend.mttkrp_level(factors, level)
+
+    benchmark.pedantic(one_set, rounds=3, iterations=1, warmup_rounds=1)

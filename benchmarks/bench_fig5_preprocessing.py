@@ -1,0 +1,80 @@
+"""Figure 5 — preprocessing overhead of the mode-order decision.
+
+The swap decision needs Algorithm 9's swapped-order fiber count plus the
+model search.  The paper reports the overhead as a percentage of one full
+MTTKRP-set execution (all bars below 100%, averaging 19%/25% on
+Intel/AMD at R=32 and 10%/14% at R=64).
+
+Regenerates the per-tensor overhead bars for both machines and both
+ranks, and pytest-benchmarks Algorithm 9 itself (serial and threaded).
+"""
+
+import time
+
+import pytest
+
+from common import bench_suite, bench_tensor, emit
+from repro.analysis import measure_method
+from repro.core import count_swapped_fibers, count_swapped_fibers_threaded, plan_decomposition
+from repro.parallel import AMD_TR_64, INTEL_CLX_18
+from repro.tensor import CsfTensor
+
+
+def _preprocessing_seconds(csf, rank, machine):
+    t0 = time.perf_counter()
+    plan_decomposition(csf, rank, machine)
+    return time.perf_counter() - t0
+
+
+@pytest.mark.parametrize("machine", [INTEL_CLX_18, AMD_TR_64], ids=lambda m: m.name)
+def test_figure5_overhead(benchmark, machine):
+    tensors = {
+        name: t for name, t in bench_suite().items() if t.ndim >= 3
+    }
+    rows = {}
+
+    def run():
+        for name, tensor in tensors.items():
+            csf = CsfTensor.from_coo(tensor)
+            row = {}
+            for rank in (32, 64):
+                pre = _preprocessing_seconds(csf, rank, machine)
+                mset = measure_method(
+                    "stef", tensor, rank, machine,
+                    num_threads=4, tensor_name=name,
+                )
+                row[f"R{rank} overhead %"] = 100.0 * pre / mset.wall_seconds
+            rows[name] = row
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    from repro.analysis import format_table
+
+    lines = [
+        format_table(
+            rows,
+            ["R32 overhead %", "R64 overhead %"],
+            title=(
+                f"Figure 5 — preprocessing overhead as % of one MTTKRP set "
+                f"({machine.name}, wall-clock channel)"
+            ),
+            fmt="{:8.1f}",
+            col_width=16,
+        )
+    ]
+    avg32 = sum(r["R32 overhead %"] for r in rows.values()) / len(rows)
+    avg64 = sum(r["R64 overhead %"] for r in rows.values()) / len(rows)
+    lines.append(f"\naverage overhead: R=32 {avg32:.1f}%   R=64 {avg64:.1f}%")
+    emit(f"fig5_preprocessing_{machine.name}.txt", "\n".join(lines))
+
+
+@pytest.mark.parametrize("name", ["delicious-4d", "nell-1", "vast-2015-mc1-5d"])
+def test_algorithm9_serial(benchmark, name):
+    csf = CsfTensor.from_coo(bench_tensor(name))
+    benchmark(count_swapped_fibers, csf)
+
+
+@pytest.mark.parametrize("threads", [1, 4, 16])
+def test_algorithm9_threaded(benchmark, threads):
+    csf = CsfTensor.from_coo(bench_tensor("delicious-4d"))
+    benchmark(count_swapped_fibers_threaded, csf, threads)

@@ -1,0 +1,85 @@
+"""Figure 6 — ablation of the three optimizations, R=32.
+
+For every tensor and both machine models, performance of the
+model-chosen configuration is compared against:
+
+1. **no-balance** — Algorithm 3's fine-grained distribution replaced by
+   the prior-work slice distribution (Fig. 6.1; the paper measures an
+   average 39% slowdown when turned off);
+2. **save-all / save-none** — the memoization model replaced by the two
+   extremes (Fig. 6.2; the model buys ~12-13% on average, and turning it
+   off never helps more than 5%);
+3. **opposite-swap** — the last-two-mode order decision inverted
+   (Fig. 6.3; average slowdown 55%/37% on Intel/AMD).
+
+Values are normalized to the model-chosen configuration (=100%); below
+100% means the ablated variant is slower, exactly as the paper plots.
+"""
+
+import pytest
+
+from common import bench_suite, emit
+from repro.analysis import format_table, measure_method
+from repro.core import SAVE_ALL, SAVE_NONE
+from repro.parallel import AMD_TR_64, INTEL_CLX_18
+
+ARMS = ("chosen", "no-balance", "save-all", "save-none", "opposite-swap")
+
+
+def _arm_kwargs(arm, tensor):
+    if arm == "chosen":
+        return {}
+    if arm == "no-balance":
+        return {"partition": "slice"}
+    if arm == "save-all":
+        return {"plan": SAVE_ALL(tensor.ndim)}
+    if arm == "save-none":
+        return {"plan": SAVE_NONE}
+    if arm == "opposite-swap":
+        return {"swap_opposite": True}
+    raise ValueError(arm)
+
+
+@pytest.mark.parametrize("machine", [INTEL_CLX_18, AMD_TR_64], ids=lambda m: m.name)
+def test_figure6_ablation(benchmark, machine):
+    rank = 32
+    tensors = {n: t for n, t in bench_suite().items() if t.ndim >= 3}
+    rows = {}
+
+    def run():
+        for name, tensor in tensors.items():
+            base = measure_method(
+                "stef", tensor, rank, machine, num_threads=8, tensor_name=name
+            )
+            row = {}
+            for arm in ARMS[1:]:
+                kwargs = _arm_kwargs(arm, tensor)
+                if "swap_opposite" in kwargs:
+                    # Invert the model's choice explicitly.
+                    from repro.baselines import ALL_BACKENDS
+
+                    probe = ALL_BACKENDS["stef"](tensor, rank, num_threads=1)
+                    kwargs = {"swap_last_two": not probe.swap_last_two}
+                m = measure_method(
+                    "stef", tensor, rank, machine,
+                    num_threads=8, tensor_name=name, backend_kwargs=kwargs,
+                )
+                row[arm] = 100.0 * base.simulated_seconds / m.simulated_seconds
+            rows[name] = row
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        rows,
+        list(ARMS[1:]),
+        title=(
+            f"Figure 6 — ablation, perf normalized to model-chosen config "
+            f"(={100}%), {machine.name}, R={rank} (below 100% = slower)"
+        ),
+        fmt="{:8.1f}",
+    )
+    avgs = {
+        arm: sum(r[arm] for r in rows.values()) / len(rows) for arm in ARMS[1:]
+    }
+    summary = "averages: " + ", ".join(f"{k}={v:.1f}%" for k, v in avgs.items())
+    emit(f"fig6_ablation_{machine.name}.txt", table + "\n\n" + summary)

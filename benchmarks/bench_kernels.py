@@ -1,0 +1,109 @@
+"""Kernel microbenchmarks — the performance-regression suite.
+
+Wall-times the primitives everything else is built from: CSF
+construction, the upward/downward sweeps, the scatter, Algorithm 9,
+ALTO encode/decode, partition construction, and the full memoized
+MTTKRP set.  Useful for catching performance regressions in the
+vectorized kernels (the paper's wall-clock story lives or dies on
+these loops being level-vectorized rather than per-node).
+"""
+
+import numpy as np
+import pytest
+
+from common import bench_tensor
+from repro.core import (
+    MemoPlan,
+    MemoizedMttkrp,
+    count_swapped_fibers,
+    plan_decomposition,
+    serial_upward_sweep,
+    thread_downward_k,
+)
+from repro.core.csf_kernels import scatter_add_rows
+from repro.cpd import random_init
+from repro.parallel import nnz_partition, slice_partition
+from repro.tensor import AltoTensor, CsfTensor
+
+TENSOR = "flickr-4d"
+RANK = 32
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tensor = bench_tensor(TENSOR, nnz=20_000)
+    csf = CsfTensor.from_coo(tensor)
+    factors = random_init(tensor.shape, RANK, 0)
+    lf = [factors[m] for m in csf.mode_order]
+    return tensor, csf, factors, lf
+
+
+def test_csf_construction(benchmark, setup):
+    tensor, _, _, _ = setup
+    benchmark(CsfTensor.from_coo, tensor)
+
+
+def test_upward_sweep(benchmark, setup):
+    _, csf, _, lf = setup
+    benchmark(serial_upward_sweep, csf, lf)
+
+
+def test_downward_k_full(benchmark, setup):
+    _, csf, _, lf = setup
+    level = csf.ndim - 1
+    benchmark(thread_downward_k, csf, lf, level, 0, csf.nnz)
+
+
+def test_scatter_add(benchmark, setup):
+    tensor, csf, _, _ = setup
+    rng = np.random.default_rng(0)
+    rows = rng.standard_normal((csf.nnz, RANK))
+    idx = csf.idx[csf.ndim - 1]
+    n = csf.level_shape(csf.ndim - 1)
+
+    def run():
+        out = np.zeros((n, RANK))
+        scatter_add_rows(out, idx, rows)
+        return out
+
+    benchmark(run)
+
+
+def test_algorithm9(benchmark, setup):
+    _, csf, _, _ = setup
+    benchmark(count_swapped_fibers, csf)
+
+
+def test_planner_search(benchmark, setup):
+    _, csf, _, _ = setup
+    benchmark(plan_decomposition, csf, RANK)
+
+
+def test_alto_encode(benchmark, setup):
+    tensor, _, _, _ = setup
+    benchmark(AltoTensor.from_coo, tensor)
+
+
+def test_alto_decode_mode(benchmark, setup):
+    tensor, _, _, _ = setup
+    alto = AltoTensor.from_coo(tensor)
+    benchmark(alto.mode_indices, 1)
+
+
+@pytest.mark.parametrize("strategy", ["nnz", "slice"])
+def test_partition_construction(benchmark, setup, strategy):
+    _, csf, _, _ = setup
+    fn = nnz_partition if strategy == "nnz" else slice_partition
+    benchmark(fn, csf, 64)
+
+
+@pytest.mark.parametrize("plan_levels", [(), (1, 2)])
+def test_full_mttkrp_set(benchmark, setup, plan_levels):
+    _, csf, factors, _ = setup
+    engine = MemoizedMttkrp(
+        csf, RANK, plan=MemoPlan(plan_levels), num_threads=8
+    )
+    benchmark.pedantic(
+        engine.iteration_results, args=(factors,), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )

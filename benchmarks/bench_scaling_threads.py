@@ -1,0 +1,59 @@
+"""Extension: thread-scaling study (the mechanism behind Figs. 2-4).
+
+The paper's machines differ mainly in thread count (18 vs 64); the
+slice-starved tensors lose more ground as threads grow.  This bench
+sweeps the simulated thread count on the vast-2015 stress tensor and on a
+well-behaved tensor (flickr-4d) and prints speedup-over-1-thread curves
+for STeF (nnz-balanced), splatt-all (slice) and ALTO (flat):
+
+* on vast, slice scheduling saturates at 2 threads while STeF/ALTO keep
+  scaling;
+* on flickr, all three scale (slices are plentiful), reproducing the
+  paper's observation that slice parallelism suffices there.
+"""
+
+import pytest
+
+from common import bench_tensor, emit
+from repro.analysis import measure_method
+from repro.parallel import AMD_TR_64
+
+THREAD_SWEEP = (1, 2, 4, 8, 16, 32, 64)
+METHODS = ("stef", "splatt-all", "alto")
+
+
+@pytest.mark.parametrize("name", ["vast-2015-mc1-3d", "flickr-4d"])
+def test_thread_scaling(benchmark, name):
+    tensor = bench_tensor(name, nnz=8000)
+
+    def run():
+        curves = {}
+        for method in METHODS:
+            times = {}
+            for t in THREAD_SWEEP:
+                m = measure_method(
+                    method, tensor, 32, AMD_TR_64,
+                    num_threads=t, tensor_name=name,
+                )
+                times[t] = m.simulated_seconds
+            curves[method] = {
+                t: times[1] / times[t] for t in THREAD_SWEEP
+            }
+        return curves
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"Thread scaling on {name} (speedup over 1 thread, simulated)"]
+    header = "threads".ljust(12) + "".join(f"{t:>8}" for t in THREAD_SWEEP)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for method, curve in curves.items():
+        lines.append(
+            method.ljust(12)
+            + "".join(f"{curve[t]:8.2f}" for t in THREAD_SWEEP)
+        )
+    emit(f"scaling_threads_{name}.txt", "\n".join(lines))
+
+    if name == "vast-2015-mc1-3d":
+        # Slice scheduling cannot use more than the 2 root slices.
+        assert curves["splatt-all"][64] < 3.0
+        assert curves["stef"][64] > 3.0 * curves["splatt-all"][64]

@@ -1,0 +1,41 @@
+"""Table I — the tensor inventory.
+
+Regenerates the table with the *scaled* synthetic instances actually used
+by this reproduction next to the paper's dimensions/nnz, and benchmarks
+CSF construction (the storage build every method amortizes).
+"""
+
+import pytest
+
+from common import BENCH_NNZ, bench_tensor, emit
+from repro.tensor import TABLE1_SPECS, CsfTensor
+
+
+def test_table1_inventory(benchmark):
+    benchmark.pedantic(
+        lambda: [bench_tensor(n) for n in sorted(TABLE1_SPECS)],
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"Table I (scaled to ~{BENCH_NNZ} nnz per tensor)",
+        f"{'tensor':22}{'paper dims':>34}{'paper nnz':>12}"
+        f"{'scaled dims':>30}{'nnz':>8}",
+        "-" * 106,
+    ]
+    for name in sorted(TABLE1_SPECS):
+        spec = TABLE1_SPECS[name]
+        t = bench_tensor(name)
+        paper_dims = "x".join(str(d) for d in spec.paper_dims)
+        scaled_dims = "x".join(str(d) for d in t.shape)
+        lines.append(
+            f"{name:22}{paper_dims:>34}{spec.paper_nnz:>12}"
+            f"{scaled_dims:>30}{t.nnz:>8}"
+        )
+    emit("table1_tensors.txt", "\n".join(lines))
+
+
+@pytest.mark.parametrize("name", ["delicious-4d", "vast-2015-mc1-3d", "nell-2"])
+def test_csf_build(benchmark, name):
+    t = bench_tensor(name)
+    benchmark(CsfTensor.from_coo, t)

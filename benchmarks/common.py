@@ -1,0 +1,55 @@
+"""Shared infrastructure for the per-figure/table benchmark suite.
+
+Every bench regenerates its paper artifact at laptop scale:
+
+* tensors come from the Table-I generators, scaled to ``REPRO_BENCH_NNZ``
+  non-zeros (default 4000; export a larger value for slower, sharper
+  runs);
+* tables/series are printed to stdout AND written under
+  ``benchmarks/results/`` so the bench run leaves a reviewable record;
+* wall-clock timings of the underlying kernels go through
+  pytest-benchmark as usual.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable
+
+from repro.tensor import TABLE1_SPECS, CooTensor, generate
+
+#: Non-zero budget per synthetic tensor (env-overridable).
+BENCH_NNZ = int(os.environ.get("REPRO_BENCH_NNZ", "4000"))
+
+#: Where benches write their regenerated tables.
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_TENSOR_CACHE: Dict[str, CooTensor] = {}
+
+
+def bench_tensor(name: str, nnz: int | None = None, seed: int = 0) -> CooTensor:
+    """Scaled instance of a Table-I tensor, cached per session."""
+    nnz = nnz or BENCH_NNZ
+    key = f"{name}:{nnz}:{seed}"
+    if key not in _TENSOR_CACHE:
+        _TENSOR_CACHE[key] = generate(TABLE1_SPECS[name], nnz=nnz, seed=seed)
+    return _TENSOR_CACHE[key]
+
+
+def bench_suite(names: Iterable[str] | None = None, nnz: int | None = None):
+    """Dict of scaled tensors for a list of Table-I names (default all)."""
+    names = list(names) if names is not None else sorted(TABLE1_SPECS)
+    return {name: bench_tensor(name, nnz) for name in names}
+
+
+def emit(filename: str, text: str) -> None:
+    """Print a regenerated table and persist it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, filename)
+    with open(path, "w") as fh:
+        fh.write(text)
+        if not text.endswith("\n"):
+            fh.write("\n")
+    print()
+    print(text)
+    print(f"[written to {path}]")

@@ -1,0 +1,9 @@
+"""pytest configuration for the benchmark suite."""
+
+import sys
+import os
+
+# Make `from common import ...` work when pytest is invoked from the repo
+# root (benchmarks/ is not a package on purpose: pytest-benchmark files
+# are scripts, not library code).
+sys.path.insert(0, os.path.dirname(__file__))

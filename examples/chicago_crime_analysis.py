@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Domain scenario: temporal pattern mining on the chicago-crime tensor.
+
+The chicago-crime-comm tensor (area x hour-of-day x crime-type x year) is
+one of the paper's evaluation datasets.  A CP decomposition of it yields
+interpretable components: each rank-one factor couples a set of community
+areas with a time-of-day profile and a crime-type profile.
+
+This example runs on the scaled synthetic stand-in (the generator keeps
+the 24-long hour mode exact), decomposes at rank 8, and reports:
+
+* which hours dominate each component (the hour factor column),
+* the model-chosen memoization configuration and its space cost,
+* the R=32 vs R=64 cache effect the paper calls out for this tensor
+  (the factor matrix fits in cache at the lower rank only).
+
+Run:  python examples/chicago_crime_analysis.py
+"""
+
+import numpy as np
+
+from repro import TABLE1_SPECS, Stef, cp_als, generate
+from repro.core import DataMovementModel, TensorStats
+from repro.parallel import INTEL_CLX_18
+from repro.tensor import CsfTensor
+
+
+def main() -> None:
+    spec = TABLE1_SPECS["chicago-crime-comm"]
+    tensor = generate(spec, nnz=30_000, seed=7)
+    print(f"chicago-crime-comm (scaled): shape={tensor.shape} nnz={tensor.nnz}")
+    print(f"pathology: {spec.pathology}")
+
+    rank = 8
+    backend = Stef(tensor, rank, machine=INTEL_CLX_18, num_threads=8)
+    print("\nplanner:", backend.describe())
+    result = cp_als(tensor, rank, backend=backend, max_iters=15, tol=1e-4)
+    print(f"fit after {result.iterations} iterations: {result.final_fit:.4f}")
+
+    # The hour-of-day mode is mode 1 (length 24, kept exact by the
+    # generator).  Top hours per component:
+    hour_factor = result.model.factors[1]
+    print("\ndominant hours per component:")
+    for r in range(rank):
+        top = np.argsort(-np.abs(hour_factor[:, r]))[:3]
+        weights = ", ".join(f"{h:02d}:00" for h in sorted(top))
+        print(f"  component {r}: {weights}")
+
+    # The paper's cache observation: for chicago-crime at R=32 the longest
+    # factor matrix is effectively cache-resident on the Intel machine but
+    # at R=64 it is not -> a sharp slowdown in Fig. 3.  The flip at
+    # N=6186 rows implies an *effective* capacity of 1.6-3.2 MB — 18
+    # threads competing for the 24.75 MB L3 leave each working set far
+    # less than the full cache; we use L3/9 as that effective share.
+    csf = CsfTensor.from_coo(tensor)
+    stats = TensorStats.from_csf(csf)
+    print("\ncache effect (Section VI-B):")
+    scale = (tensor.nnz / spec.paper_nnz) ** (1.0 / tensor.ndim)
+    machine = INTEL_CLX_18.with_cache_scale(scale / 9.0)
+    for r in (32, 64):
+        model = DataMovementModel(stats, r, machine)
+        longest = max(range(tensor.ndim), key=lambda lv: stats.level_lengths[lv])
+        footprint = stats.level_lengths[longest] * r
+        resident = footprint <= machine.cache_elements
+        print(
+            f"  R={r}: longest factor {footprint} elements, "
+            f"effective cache {machine.cache_elements} -> "
+            f"{'resident' if resident else 'STREAMS (sharp slowdown case)'}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Mini Figure 3: compare all eight methods on one tensor.
+
+Runs a full MTTKRP set per method on the flickr-4d stand-in, on both
+machine models, and prints performance relative to splatt-all in both
+measurement channels (simulated traffic time and Python wall-clock).
+
+Run:  python examples/compare_backends.py [tensor-name] [nnz]
+"""
+
+import sys
+
+from repro import TABLE1_SPECS, generate
+from repro.analysis import format_table, relative_performance, run_comparison
+from repro.parallel import AMD_TR_64, INTEL_CLX_18
+
+METHODS = (
+    "stef", "stef2", "adatm", "alto",
+    "splatt-1", "splatt-2", "splatt-all", "taco",
+)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "flickr-4d"
+    nnz = int(sys.argv[2]) if len(sys.argv) > 2 else 10_000
+    if name not in TABLE1_SPECS:
+        raise SystemExit(
+            f"unknown tensor {name!r}; choose from {sorted(TABLE1_SPECS)}"
+        )
+    tensor = generate(TABLE1_SPECS[name], nnz=nnz, seed=0)
+    print(f"{name} (scaled): shape={tensor.shape} nnz={tensor.nnz}\n")
+
+    for machine in (INTEL_CLX_18, AMD_TR_64):
+        grid = run_comparison(
+            {name: tensor}, rank=32, machine=machine, methods=METHODS
+        )
+        for channel in ("simulated", "wall"):
+            rel = relative_performance(grid, channel=channel)
+            print(
+                format_table(
+                    rel,
+                    list(METHODS),
+                    title=f"{machine.name} — {channel} channel "
+                    f"(relative to splatt-all, higher is better)",
+                )
+            )
+            print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Topic mining on the enron tensor with non-negative CP.
+
+enron (sender x receiver x word x week) is one of Table I's datasets;
+its natural analysis is a *non-negative* decomposition: each component
+couples a group of senders/receivers with a word distribution — a
+"topic".  This example runs projected non-negative ALS with the STeF
+backend on the scaled stand-in and reports:
+
+* the heaviest senders/receivers/words per component (`top_slices`-style
+  factor inspection),
+* the sparsity benefit of non-negativity (many exact zeros in factors),
+* observed-entry fit vs the zero-penalizing fit.
+
+Run:  python examples/enron_topics.py
+"""
+
+import numpy as np
+
+from repro import Stef, TABLE1_SPECS, cp_als, generate
+
+
+def main() -> None:
+    tensor = generate(TABLE1_SPECS["enron"], nnz=25_000, seed=0)
+    print(f"enron (scaled): shape={tensor.shape} nnz={tensor.nnz}")
+    print("values are count-like (lognormal) -> non-negative CP is natural")
+
+    rank = 6
+    backend = Stef(tensor, rank, num_threads=8)
+    print("\nplanner:", backend.describe())
+    result = cp_als(
+        tensor, rank, backend=backend, max_iters=20, tol=1e-5, nonneg=True,
+    )
+    model = result.model
+    print(
+        f"fit {result.final_fit:.4f} (zeros penalized) | "
+        f"observed-only fit {model.fit_observed(tensor):.4f}"
+    )
+
+    labels = ("sender", "receiver", "word", "week")
+    order = np.argsort(-model.weights)
+    for r in order[:3]:
+        print(f"\ntopic (weight {model.weights[r]:.1f}):")
+        for m, label in enumerate(labels[: tensor.ndim]):
+            col = model.factors[m][:, r]
+            top = np.argsort(-col)[:4]
+            tops = ", ".join(f"{label[0]}{i}" for i in top)
+            print(f"  top {label}s: {tops}")
+
+    zero_frac = np.mean(
+        [np.mean(f == 0.0) for f in model.factors]
+    )
+    print(
+        f"\nnon-negativity produced {100 * zero_frac:.0f}% exact zeros in "
+        f"the factors (sparse, interpretable parts)"
+    )
+    for f in model.factors:
+        assert np.all(f >= 0)
+
+
+if __name__ == "__main__":
+    main()

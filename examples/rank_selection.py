@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Choosing the decomposition rank with CORCONDIA and FMS.
+
+A practical workflow on top of the library's diagnostics: decompose a
+planted rank-3 tensor at several candidate ranks, and use
+
+* the fit curve (always improves with rank — useless alone),
+* CORCONDIA (collapses once the model over-factors),
+* FMS against the planted components (ground truth, available here)
+
+to pick the rank.  Demonstrates why fit alone over-selects and core
+consistency does not.
+
+Run:  python examples/rank_selection.py
+"""
+
+import numpy as np
+
+from repro import Stef, cp_als
+from repro.cpd import KruskalTensor, corcondia, factor_match_score
+from repro.tensor import CooTensor, low_rank_tensor
+
+
+def main() -> None:
+    true_rank = 3
+    tensor, factors = low_rank_tensor(
+        (14, 12, 10), rank=true_rank, nnz=5000, noise=0.3, seed=1,
+        return_factors=True,
+    )
+    planted = KruskalTensor(np.ones(true_rank), factors)
+    print(
+        f"planted rank-{true_rank} tensor: shape={tensor.shape} "
+        f"nnz={tensor.nnz} (dense-ish sample)"
+    )
+    print(f"\n{'rank':>5} {'fit':>8} {'corcondia':>11} {'FMS vs truth':>13}")
+
+    best = None
+    for rank in (1, 2, 3, 4, 5, 6):
+        backend = Stef(tensor, rank, num_threads=4)
+        res = cp_als(
+            tensor, rank, backend=backend, max_iters=40, tol=1e-7,
+            init="hosvd",
+        )
+        cc = corcondia(tensor, res.model)
+        fms = (
+            factor_match_score(planted, res.model)
+            if rank >= true_rank
+            else float("nan")
+        )
+        marker = ""
+        if cc >= 99.0:
+            best = rank
+        elif best is not None and rank == best + 1:
+            marker = "   <- core consistency degrades: over-factored"
+        print(f"{rank:>5} {res.final_fit:>8.4f} {cc:>11.1f} {fms:>13.3f}{marker}")
+
+    print(
+        f"\nfit keeps improving with rank (it chases noise), but the "
+        f"largest rank with near-perfect core consistency is {best} "
+        f"(planted: {true_rank})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""One-shot driver: regenerate every table and figure of the paper.
+
+Equivalent to ``pytest benchmarks/ --benchmark-only`` but callable as a
+plain script (CI artifact generation, documentation refresh); each
+experiment's table is printed and written under ``benchmarks/results/``.
+
+    python scripts/run_all_experiments.py [--nnz 4000]
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+BENCHES = [
+    "bench_table1_tensors.py",
+    "bench_fig3_intel.py",
+    "bench_fig4_amd.py",
+    "bench_fig5_preprocessing.py",
+    "bench_fig6_ablation.py",
+    "bench_table2_space.py",
+    "bench_section4_motivation.py",
+    "bench_scaling_threads.py",
+    "bench_reordering.py",
+    "bench_rank_sweep.py",
+    "bench_dimtree.py",
+    "bench_conflict_strategies.py",
+    "bench_kernels.py",
+    "bench_calibration.py",
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nnz", type=int, default=None,
+                        help="override REPRO_BENCH_NNZ")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="substring filters on bench file names")
+    args = parser.parse_args()
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    if args.nnz is not None:
+        env["REPRO_BENCH_NNZ"] = str(args.nnz)
+
+    benches = BENCHES
+    if args.only:
+        benches = [
+            b for b in BENCHES if any(pat in b for pat in args.only)
+        ]
+    failures = []
+    for bench in benches:
+        path = os.path.join(root, "benchmarks", bench)
+        print(f"\n=== {bench} ===", flush=True)
+        result = subprocess.run(
+            [sys.executable, "-m", "pytest", path, "--benchmark-only", "-q"],
+            cwd=root,
+            env=env,
+        )
+        if result.returncode != 0:
+            failures.append(bench)
+    if failures:
+        print(f"\nFAILED: {failures}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(benches)} experiment benches regenerated; "
+          f"tables under benchmarks/results/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

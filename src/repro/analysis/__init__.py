@@ -1,0 +1,48 @@
+"""Measurement & validation: experiments harness, traffic, imbalance, reports."""
+
+from .experiments import (
+    LevelCost,
+    MethodMeasurement,
+    measure_method,
+    run_comparison,
+    scale_for_tensor,
+)
+from .imbalance import StrategyComparison, compare_strategies
+from .report import (
+    format_table,
+    geomean_speedups,
+    geometric_mean,
+    relative_performance,
+)
+from .traffic import ConfigTraffic, model_vs_measured, ranking_agreement
+from .profile import LevelProfile, MethodProfile, profile_method
+from .calibration import (
+    CalibrationResult,
+    CalibrationSample,
+    collect_samples,
+    fit_roofline,
+)
+
+__all__ = [
+    "LevelCost",
+    "MethodMeasurement",
+    "measure_method",
+    "run_comparison",
+    "scale_for_tensor",
+    "StrategyComparison",
+    "compare_strategies",
+    "format_table",
+    "geomean_speedups",
+    "geometric_mean",
+    "relative_performance",
+    "ConfigTraffic",
+    "model_vs_measured",
+    "ranking_agreement",
+    "LevelProfile",
+    "MethodProfile",
+    "profile_method",
+    "CalibrationResult",
+    "CalibrationSample",
+    "collect_samples",
+    "fit_roofline",
+]

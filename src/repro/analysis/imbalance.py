@@ -1,0 +1,56 @@
+"""Load-imbalance analysis across partitioning strategies (Fig. 2 / 6.1).
+
+Compares the slice and nnz work distributions on one tensor the way the
+paper's Section II-D prose does: active thread counts, percentage
+imbalance, and the stretch factor each schedule imposes on a perfectly
+parallel execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.schedule import WorkSchedule, build_schedule
+from ..tensor.csf import CsfTensor
+
+__all__ = ["StrategyComparison", "compare_strategies"]
+
+
+@dataclass(frozen=True)
+class StrategyComparison:
+    """Side-by-side schedule diagnostics for one tensor/thread count."""
+
+    num_threads: int
+    schedules: Dict[str, WorkSchedule]
+
+    def summary_rows(self) -> Dict[str, Dict[str, float]]:
+        """Per-strategy diagnostics for the report layer."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, ws in self.schedules.items():
+            out[name] = {
+                "active_threads": float(ws.active_threads),
+                "imbalance_pct": ws.imbalance_percent,
+                "max_over_mean": ws.max_over_mean,
+                "replicated_rows": float(ws.replicated_rows),
+            }
+        return out
+
+    def stretch_ratio(self) -> float:
+        """How much slower the slice schedule is than the nnz schedule in
+        the bandwidth-bound machine model (>1 = nnz wins)."""
+        return (
+            self.schedules["slice"].max_over_mean
+            / self.schedules["nnz"].max_over_mean
+        )
+
+
+def compare_strategies(csf: CsfTensor, num_threads: int) -> StrategyComparison:
+    """Build both schedules for ``csf`` at ``num_threads``."""
+    return StrategyComparison(
+        num_threads=num_threads,
+        schedules={
+            "nnz": build_schedule(csf, num_threads, "nnz"),
+            "slice": build_schedule(csf, num_threads, "slice"),
+        },
+    )

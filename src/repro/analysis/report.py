@@ -1,0 +1,94 @@
+"""Row/series formatting shared by the benchmark harness.
+
+The figures of the paper report *relative performance against splatt-all*
+(bars, higher = better) and geometric-mean speedups in the prose
+(Section VI-B).  These helpers turn the raw
+:class:`~repro.analysis.experiments.MethodMeasurement` grids into exactly
+those rows so every bench prints the same shapes the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+from .experiments import MethodMeasurement
+
+__all__ = [
+    "geometric_mean",
+    "relative_performance",
+    "geomean_speedups",
+    "format_table",
+]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; empty input returns NaN, non-positive entries raise."""
+    vals = np.asarray(list(values), dtype=np.float64)
+    if vals.size == 0:
+        return float("nan")
+    if np.any(vals <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(vals))))
+
+
+def relative_performance(
+    grid: Mapping[str, Mapping[str, MethodMeasurement]],
+    *,
+    baseline: str = "splatt-all",
+    channel: str = "simulated",
+) -> Dict[str, Dict[str, float]]:
+    """Per-tensor performance of each method relative to ``baseline``
+    (>1 = faster than the baseline), from either cost channel
+    (``"simulated"`` or ``"wall"``)."""
+    attr = {"simulated": "simulated_seconds", "wall": "wall_seconds"}[channel]
+    out: Dict[str, Dict[str, float]] = {}
+    for tensor_name, row in grid.items():
+        base = getattr(row[baseline], attr)
+        out[tensor_name] = {
+            method: base / max(getattr(m, attr), 1e-30) for method, m in row.items()
+        }
+    return out
+
+
+def geomean_speedups(
+    rel: Mapping[str, Mapping[str, float]],
+    method: str,
+    others: Sequence[str],
+) -> Dict[str, float]:
+    """Geometric-mean speedup of ``method`` over each of ``others`` across
+    tensors — the Section VI-B prose numbers ("STeF achieves 437%, 50%,
+    ... geometric mean speed-up over AdaTM, ALTO, ...")."""
+    out: Dict[str, float] = {}
+    for other in others:
+        ratios = [row[method] / row[other] for row in rel.values()]
+        out[other] = geometric_mean(ratios)
+    return out
+
+
+def format_table(
+    rows: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str],
+    *,
+    title: str = "",
+    fmt: str = "{:8.3f}",
+    col_width: int = 12,
+) -> str:
+    """Fixed-width text table: one row per tensor, one column per method."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    name_w = max([len(k) for k in rows] + [len("tensor")]) + 2
+    header = "tensor".ljust(name_w) + "".join(
+        c.rjust(col_width) for c in columns
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in rows.items():
+        cells = "".join(
+            fmt.format(row[c]).rjust(col_width) if c in row else "-".rjust(col_width)
+            for c in columns
+        )
+        lines.append(name.ljust(name_w) + cells)
+    return "\n".join(lines)

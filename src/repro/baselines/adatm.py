@@ -1,0 +1,122 @@
+"""AdaTM-style baseline: operation-count-driven memoization.
+
+AdaTM (Li et al., IPDPS 2017) also memoizes partial MTTKRP results over a
+CSF-like structure, choosing what to store with a model.  Two differences
+from STeF matter for the evaluation (Sections V and VI-B):
+
+* AdaTM's model minimizes *high-level operation count* (FLOPs), not data
+  movement — so it happily stores large intermediates whose write/read
+  traffic exceeds the arithmetic it saves (the uber tensor of
+  Section IV-A is the canonical counterexample);
+* it keeps the length-sorted mode order (no last-two-mode swap) and the
+  prior-work slice distribution, so it inherits the vast-2015 imbalance.
+
+The reimplementation reuses this library's memoized engine with a plan
+chosen by an explicit FLOP model (:func:`flop_minimal_plan`), which — as
+in the paper's characterization — "fails to select an optimal mode order
+or memoizing decisions" whenever FLOPs and traffic disagree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.memoization import MemoPlan, enumerate_plans
+from ..core.mttkrp import MemoizedMttkrp
+from ..parallel.counters import NULL_COUNTER, TrafficCounter
+from ..parallel.machine import MachineSpec
+from ..tensor.coo import CooTensor
+from ..tensor.csf import CsfTensor, default_mode_order
+
+__all__ = ["flop_count", "flop_minimal_plan", "AdaTm"]
+
+
+def flop_count(fiber_counts: Sequence[int], rank: int, plan: MemoPlan) -> float:
+    """Multiply-add count of one CPD iteration's MTTKRPs under ``plan``.
+
+    A sweep over levels ``j..k`` performs ``m_j·R`` multiply-adds per level
+    (one fused gather-multiply-accumulate per fiber per rank column).  Mode
+    ``u`` sourced from level ``k`` pays the downward ``k``-sweep
+    (levels ``0..u-1``), the resumed contraction (``u..k``), and the final
+    Hadamard-scatter at ``u``.
+    """
+    d = len(fiber_counts)
+    m = fiber_counts
+    # Mode 0: one full sweep (every level contributes m_j * R work).
+    total = float(sum(m[j] for j in range(d)) * rank)
+    for u in range(1, d):
+        k = plan.source_level(u, d) if u < d - 1 else d - 1
+        if u < d - 1 and not plan.saves(k):
+            k = d - 1
+        down = sum(m[j] for j in range(1, u + 1))  # k-vector expansions
+        up = sum(m[j] for j in range(u, k + 1)) if k > u else m[u]
+        total += float((down + up) * rank)
+    return total
+
+
+def flop_minimal_plan(fiber_counts: Sequence[int], rank: int) -> MemoPlan:
+    """The memoization plan minimizing :func:`flop_count` — AdaTM's
+    objective.  Ties break toward *more* memoization (AdaTM stores
+    ``Θ(√N)`` intermediates by design)."""
+    d = len(fiber_counts)
+    best = None
+    for plan in enumerate_plans(d):
+        cost = flop_count(fiber_counts, rank, plan)
+        key = (cost, -len(plan.save_levels))
+        if best is None or key < best[0]:
+            best = (key, plan)
+    assert best is not None
+    return best[1]
+
+
+class AdaTm:
+    """Op-count-driven memoized MTTKRP backend (AdaTM policy)."""
+
+    name = "adatm"
+
+    def __init__(
+        self,
+        tensor: CooTensor,
+        rank: int,
+        *,
+        machine: Optional[MachineSpec] = None,
+        num_threads: Optional[int] = None,
+        backend: str = "serial",
+        counter: TrafficCounter = NULL_COUNTER,
+    ) -> None:
+        self.tensor = tensor
+        self.rank = rank
+        threads = num_threads if num_threads is not None else (
+            machine.num_threads if machine else 1
+        )
+        self.csf = CsfTensor.from_coo(tensor, default_mode_order(tensor.shape))
+        self.plan = flop_minimal_plan(self.csf.fiber_counts, rank)
+        self.engine = MemoizedMttkrp(
+            self.csf,
+            rank,
+            plan=self.plan,
+            num_threads=threads,
+            partition="slice",
+            backend=backend,
+            counter=counter,
+        )
+        self.mode_order: Tuple[int, ...] = self.csf.mode_order
+
+    def mttkrp_level(self, factors: Sequence[np.ndarray], level: int) -> np.ndarray:
+        """MTTKRP at ``level`` with AdaTM's memoization plan."""
+        if level == 0:
+            return self.engine.mode0(factors)
+        return self.engine.mode_level(factors, level)
+
+    def memo_bytes(self) -> int:
+        """Footprint of the stored intermediates."""
+        return self.engine.memo_bytes()
+
+    def level_load_factor(self, level: int) -> float:
+        """Imbalance stretch of the slice schedule (level-independent)."""
+        return self.engine.partition.max_over_mean
+
+    def describe(self) -> str:
+        return f"{self.name}: save={list(self.plan.save_levels)} (FLOP-minimal)"

@@ -1,0 +1,257 @@
+"""Command-line interface.
+
+Four subcommands expose the library's main flows without writing code:
+
+* ``decompose`` — CP-decompose a FROSTT ``.tns`` file (or a named Table-I
+  generator) with any backend, printing the fit trajectory.
+* ``plan`` — show the planner's full configuration search for a tensor.
+* ``compare`` — run every method's MTTKRP set and print the relative
+  performance table in both channels.
+* ``info`` — storage and sparsity statistics (CSF fiber counts per mode
+  order, HiCOO blocks, ALTO bits).
+
+Examples::
+
+    python -m repro info uber --nnz 8000
+    python -m repro plan data/enron.tns --rank 32
+    python -m repro decompose nell-2 --rank 16 --backend stef2 --iters 10
+    python -m repro compare vast-2015-mc1-3d --machine amd-tr-64
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis import format_table, relative_performance, run_comparison
+from .baselines import ALL_BACKENDS
+from .core import plan_decomposition
+from .cpd import cp_als
+from .parallel import MACHINES
+from .tensor import (
+    TABLE1_SPECS,
+    CooTensor,
+    CsfTensor,
+    HicooTensor,
+    AltoTensor,
+    default_mode_order,
+    generate,
+    read_tns,
+)
+
+__all__ = ["main", "build_parser", "load_tensor"]
+
+
+def load_tensor(source: str, nnz: int, seed: int) -> CooTensor:
+    """Resolve a tensor argument: a ``.tns[.gz]`` path or a Table-I name."""
+    if source in TABLE1_SPECS:
+        return generate(TABLE1_SPECS[source], nnz=nnz, seed=seed)
+    if os.path.exists(source):
+        return read_tns(source)
+    raise SystemExit(
+        f"'{source}' is neither a readable file nor one of "
+        f"{sorted(TABLE1_SPECS)}"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STeF sparse tensor factorization (IPDPS 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("tensor", help=".tns file or Table-I tensor name")
+        p.add_argument("--nnz", type=int, default=10_000,
+                       help="non-zeros for generated tensors (default 10000)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--rank", type=int, default=16)
+        p.add_argument(
+            "--machine", choices=sorted(MACHINES), default="intel-clx-18"
+        )
+        p.add_argument("--threads", type=int, default=None,
+                       help="override the machine's thread count")
+
+    p_info = sub.add_parser("info", help="storage & sparsity statistics")
+    add_common(p_info)
+
+    p_plan = sub.add_parser("plan", help="show the configuration search")
+    add_common(p_plan)
+
+    p_dec = sub.add_parser("decompose", help="run CPD-ALS")
+    add_common(p_dec)
+    p_dec.add_argument(
+        "--backend", choices=sorted(ALL_BACKENDS), default="stef"
+    )
+    p_dec.add_argument("--iters", type=int, default=20)
+    p_dec.add_argument("--tol", type=float, default=1e-4)
+    p_dec.add_argument("--init", choices=["random", "hosvd"], default="random")
+
+    p_cmp = sub.add_parser("compare", help="all methods, one tensor")
+    add_common(p_cmp)
+    p_cmp.add_argument(
+        "--methods", nargs="+", default=list(ALL_BACKENDS),
+        choices=sorted(ALL_BACKENDS),
+    )
+
+    p_prof = sub.add_parser("profile", help="per-mode cost breakdown")
+    add_common(p_prof)
+    p_prof.add_argument(
+        "--backend", choices=sorted(ALL_BACKENDS), default="stef"
+    )
+
+    p_re = sub.add_parser(
+        "reorder", help="Lexi-Order a tensor and write the relabeled .tns"
+    )
+    add_common(p_re)
+    p_re.add_argument("--output", required=True, help="output .tns path")
+    p_re.add_argument("--iterations", type=int, default=2)
+    return parser
+
+
+def _cmd_info(args, out) -> int:
+    tensor = load_tensor(args.tensor, args.nnz, args.seed)
+    print(f"tensor: shape={tensor.shape} nnz={tensor.nnz} "
+          f"density={tensor.density:.3e}", file=out)
+    order = default_mode_order(tensor.shape)
+    csf = CsfTensor.from_coo(tensor, order)
+    print(f"CSF (order {order}): fibers {csf.fiber_counts}, "
+          f"{csf.total_bytes() / 1e6:.2f} MB", file=out)
+    for lvl in range(1, tensor.ndim):
+        avg = csf.fiber_counts[lvl] / max(1, csf.fiber_counts[lvl - 1])
+        print(f"  level {lvl}: avg branching {avg:.2f}", file=out)
+    hic = HicooTensor.from_coo(tensor)
+    print(f"HiCOO (B={hic.block_bits}): {hic.n_blocks} blocks, "
+          f"occupancy {hic.average_block_occupancy:.2f}, "
+          f"{hic.footprint_bytes() / 1e6:.2f} MB", file=out)
+    alto = AltoTensor.from_coo(tensor)
+    print(f"ALTO: {alto.index_bits}-bit indices, "
+          f"{alto.footprint_bytes() / 1e6:.2f} MB", file=out)
+    return 0
+
+
+def _cmd_plan(args, out) -> int:
+    tensor = load_tensor(args.tensor, args.nnz, args.seed)
+    machine = MACHINES[args.machine]
+    csf = CsfTensor.from_coo(tensor)
+    decision = plan_decomposition(
+        csf, args.rank, machine, consider_swap=tensor.ndim >= 3
+    )
+    print(f"configuration search for {args.tensor} "
+          f"(R={args.rank}, {machine.name}):", file=out)
+    for cfg in decision.configurations:
+        marker = "  <== chosen" if cfg == decision.best else ""
+        print(f"  {cfg.describe()}{marker}", file=out)
+    return 0
+
+
+def _cmd_decompose(args, out) -> int:
+    tensor = load_tensor(args.tensor, args.nnz, args.seed)
+    machine = MACHINES[args.machine]
+    backend = ALL_BACKENDS[args.backend](
+        tensor, args.rank, machine=machine, num_threads=args.threads
+    )
+    if hasattr(backend, "describe"):
+        print(backend.describe(), file=out)
+    result = cp_als(
+        tensor,
+        args.rank,
+        backend=backend,
+        max_iters=args.iters,
+        tol=args.tol,
+        init=args.init,
+        seed=args.seed,
+        callback=lambda it, fit: print(
+            f"  iter {it + 1:3d}  fit {fit:.5f}", file=out
+        ),
+    )
+    print(
+        f"{'converged' if result.converged else 'stopped'} after "
+        f"{result.iterations} iterations; final fit {result.final_fit:.5f}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_compare(args, out) -> int:
+    tensor = load_tensor(args.tensor, args.nnz, args.seed)
+    machine = MACHINES[args.machine]
+    methods = list(args.methods)
+    if "splatt-all" not in methods:
+        methods.append("splatt-all")
+    grid = run_comparison(
+        {args.tensor: tensor}, rank=args.rank, machine=machine,
+        methods=methods, num_threads=args.threads,
+    )
+    for channel in ("simulated", "wall"):
+        rel = relative_performance(grid, channel=channel)
+        print(
+            format_table(
+                rel, methods,
+                title=f"{machine.name} — {channel} channel "
+                "(relative to splatt-all)",
+            ),
+            file=out,
+        )
+        print(file=out)
+    return 0
+
+
+def _cmd_profile(args, out) -> int:
+    from .analysis import profile_method
+
+    tensor = load_tensor(args.tensor, args.nnz, args.seed)
+    machine = MACHINES[args.machine]
+    profile = profile_method(
+        args.backend, tensor, args.rank, machine,
+        num_threads=args.threads, tensor_name=args.tensor,
+    )
+    print(profile.format(), file=out)
+    return 0
+
+
+def _cmd_reorder(args, out) -> int:
+    from .reorder import lexi_order
+    from .tensor import write_tns
+    from .tensor.hicoo import HicooTensor
+
+    tensor = load_tensor(args.tensor, args.nnz, args.seed)
+    rel = lexi_order(tensor, iterations=args.iterations)
+    relabeled = rel.apply(tensor)
+    before = HicooTensor.from_coo(tensor).n_blocks
+    after = HicooTensor.from_coo(relabeled).n_blocks
+    write_tns(
+        relabeled,
+        args.output,
+        header=[
+            f"Lexi-Order relabeling of {args.tensor}",
+            f"HiCOO blocks {before} -> {after}",
+        ],
+    )
+    print(
+        f"wrote {args.output}: HiCOO blocks {before} -> {after} "
+        f"({100 * (1 - after / max(before, 1)):.0f}% fewer)",
+        file=out,
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    handler = {
+        "info": _cmd_info,
+        "plan": _cmd_plan,
+        "decompose": _cmd_decompose,
+        "compare": _cmd_compare,
+        "profile": _cmd_profile,
+        "reorder": _cmd_reorder,
+    }[args.command]
+    return handler(args, out)

@@ -1,0 +1,110 @@
+"""Memoization plans: which partial MTTKRP results to save.
+
+During the mode-0 MTTKRP, STeF's upward sweep materializes every partial
+result ``P^(i)`` transiently (``t_i`` vectors in Algorithm 5).  A
+*memoization plan* selects the subset of levels whose ``P^(i)`` is written
+to memory so the later per-mode MTTKRPs can reuse it (``T.save`` in
+Algorithm 5).
+
+Plan semantics (Section III-B):
+
+* level ``0`` is the mode-0 output itself — never part of a plan;
+* level ``d-1`` is the tensor — always "available", never saved;
+* saveable levels are therefore ``1 .. d-2``; a ``d``-dimensional tensor
+  has ``2^(d-2)`` plans (1 for 3-D: save/skip ``P^(1)``; 4 for 4-D; 8 for
+  5-D), a space small enough for the exhaustive model search the paper
+  performs.
+
+For the MTTKRP of mode-level ``u > 0``, the plan determines the *source*
+(:meth:`MemoPlan.source_level`): ``P^(u)`` itself when saved, else the
+shallowest saved ``P^(k)`` with ``k > u``, else the tensor (full
+re-traversal, Fig. 1d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterator, Tuple
+
+from ..tensor.csf import CsfTensor
+
+__all__ = ["MemoPlan", "enumerate_plans", "SAVE_ALL", "SAVE_NONE"]
+
+
+@dataclass(frozen=True, order=True)
+class MemoPlan:
+    """An immutable set of CSF levels whose partial results are saved.
+
+    ``save_levels`` is sorted ascending and every entry lies in
+    ``1 .. d-2`` for the tensor the plan targets (validated on use, since
+    the plan itself is dimension-agnostic).
+    """
+
+    save_levels: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        lv = tuple(sorted(set(int(x) for x in self.save_levels)))
+        object.__setattr__(self, "save_levels", lv)
+        if any(x < 1 for x in lv):
+            raise ValueError(f"level 0 / negative levels cannot be memoized: {lv}")
+
+    # ------------------------------------------------------------------
+    def validate(self, ndim: int) -> None:
+        """Raise if the plan references levels outside ``1..ndim-2``."""
+        if any(x > ndim - 2 for x in self.save_levels):
+            raise ValueError(
+                f"plan {self.save_levels} exceeds saveable levels of a "
+                f"{ndim}-D tensor (1..{ndim - 2})"
+            )
+
+    def saves(self, level: int) -> bool:
+        """True when ``P^(level)`` is written to memory (``T.save[level]``)."""
+        return level in self.save_levels
+
+    def source_level(self, u: int, ndim: int) -> int:
+        """The level whose stored data feeds the MTTKRP of mode-level
+        ``u > 0``: ``u`` itself if saved, else the shallowest saved level
+        above ``u``, else ``ndim - 1`` (the tensor)."""
+        if u <= 0:
+            raise ValueError("mode 0 is produced by the sweep, not sourced")
+        for k in self.save_levels:
+            if k >= u:
+                return k
+        return ndim - 1
+
+    # ------------------------------------------------------------------
+    def memo_elements(self, csf: CsfTensor, rank: int, num_threads: int = 1) -> int:
+        """Elements occupied by the saved partials, including the ``+T``
+        boundary-replication rows (Table II's space accounting)."""
+        self.validate(csf.ndim)
+        return sum(
+            (csf.fiber_counts[i] + num_threads) * rank for i in self.save_levels
+        )
+
+    def memo_bytes(
+        self, csf: CsfTensor, rank: int, num_threads: int = 1, element_bytes: int = 8
+    ) -> int:
+        """Bytes occupied by the saved partials."""
+        return self.memo_elements(csf, rank, num_threads) * element_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MemoPlan(save={list(self.save_levels)})"
+
+
+#: Sentinel plans for the Fig. 6 ablation extremes.  ``SAVE_ALL`` is
+#: resolved per-tensor by :func:`enumerate_plans`' last element.
+SAVE_NONE = MemoPlan(())
+
+
+def SAVE_ALL(ndim: int) -> MemoPlan:
+    """The save-everything plan for a ``ndim``-dimensional tensor."""
+    return MemoPlan(tuple(range(1, ndim - 1)))
+
+
+def enumerate_plans(ndim: int) -> Iterator[MemoPlan]:
+    """Yield all ``2^(ndim-2)`` memoization plans, smallest first."""
+    levels = list(range(1, ndim - 1))
+    for size in range(len(levels) + 1):
+        for combo in combinations(levels, size):
+            yield MemoPlan(combo)

@@ -1,0 +1,309 @@
+"""The memoized MTTKRP engine (Algorithms 4-8).
+
+:class:`MemoizedMttkrp` executes the full per-iteration MTTKRP sequence of
+STeF over one CSF:
+
+* **level 0** (:meth:`mode0`) — a parallel upward sweep (TTM + mTTV chain)
+  over equal-nnz thread partitions (Algorithm 3), accumulating boundary
+  nodes in :class:`~repro.parallel.executor.ReplicatedArray` buffers; the
+  partial results ``P^(i)`` selected by the :class:`MemoPlan` are merged
+  and retained.
+* **levels 0 < u < d-1** (:meth:`mode_level`) — reuse ``P^(u)`` directly
+  when saved (Fig. 1b / Algorithm 6); otherwise recompute it on the fly
+  from the shallowest saved ``P^(k)``, ``k > u`` (Fig. 1c / Algorithm 7)
+  or from the tensor (Fig. 1d / Algorithm 8), fusing the downward ``k``
+  sweep with the scatter into ``Ā^(u)``.
+* **level d-1** — the leaf-mode kernel: ``Ā[idx] += val · k_{d-2}``
+  (the "series of Khatri-Rao products"; the paper notes this MTTV-style
+  kernel is STeF's weak spot on nell-2, which STeF2 fixes with a second
+  CSF — :mod:`repro.core.stef2`).
+
+Thread bodies only *compute* (gathers, multiplies, segmented sums — all
+GIL-releasing NumPy); scatters into shared outputs happen on the
+coordinating thread, so the ``"threads"`` backend is race-free while the
+``"serial"`` backend is bit-identical to it.
+
+Every call charges its semantic read/write volumes to a
+:class:`~repro.parallel.counters.TrafficCounter` at the same granularity
+as the Section IV model, giving the measured channel the Fig. 3/4
+harness reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..parallel.counters import NULL_COUNTER, TrafficCounter
+from ..parallel.executor import ReplicatedArray, SimulatedPool
+from ..parallel.partition import ThreadPartition, nnz_partition, slice_partition
+from ..tensor.csf import CsfTensor
+from .csf_kernels import scatter_add_rows, thread_downward_k, thread_upward_sweep
+from .memoization import SAVE_NONE, MemoPlan
+
+__all__ = ["MemoizedMttkrp"]
+
+
+class MemoizedMttkrp:
+    """Executes STeF's memoized MTTKRP sequence over one CSF tensor.
+
+    Parameters
+    ----------
+    csf:
+        The tensor (already in the layout the planner chose).
+    rank:
+        Decomposition rank ``R``.
+    plan:
+        Which partial results to save (default: none).
+    num_threads:
+        Simulated thread count.
+    partition:
+        ``"nnz"`` — Algorithm 3 (default); ``"slice"`` — prior-work
+        root-slice distribution (the Fig. 6.1 ablation arm).
+    backend:
+        ``"serial"`` (deterministic) or ``"threads"`` (real thread pool).
+    counter:
+        Traffic accounting target; defaults to the no-op counter.
+    """
+
+    def __init__(
+        self,
+        csf: CsfTensor,
+        rank: int,
+        *,
+        plan: MemoPlan = SAVE_NONE,
+        num_threads: int = 1,
+        partition: str = "nnz",
+        backend: str = "serial",
+        counter: TrafficCounter = NULL_COUNTER,
+    ) -> None:
+        plan.validate(csf.ndim)
+        self.csf = csf
+        self.rank = rank
+        self.plan = plan
+        self.counter = counter
+        self.pool = SimulatedPool(num_threads, backend)
+        if partition == "nnz":
+            self.partition: ThreadPartition = nnz_partition(csf, num_threads)
+        elif partition == "slice":
+            self.partition = slice_partition(csf, num_threads)
+        else:
+            raise ValueError(f"unknown partition strategy {partition!r}")
+        #: Saved partial results, keyed by level; refreshed by mode0().
+        self.memo: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_threads(self) -> int:
+        return self.pool.num_threads
+
+    def _level_factors(self, factors: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Reorder caller factors (original mode numbering) to CSF levels."""
+        if len(factors) != self.csf.ndim:
+            raise ValueError(
+                f"need {self.csf.ndim} factor matrices, got {len(factors)}"
+            )
+        return [np.asarray(factors[m]) for m in self.csf.mode_order]
+
+    def memo_bytes(self) -> int:
+        """Current footprint of the retained partial results."""
+        return int(sum(a.nbytes for a in self.memo.values()))
+
+    # ------------------------------------------------------------------
+    # traffic accounting helpers (model-granularity semantic charges)
+    # ------------------------------------------------------------------
+    def _charge_traversal(self, upto_level: int) -> None:
+        """Structure reads for walking levels ``0..upto_level`` inclusive."""
+        m = self.csf.fiber_counts
+        for j in range(upto_level + 1):
+            self.counter.read(2 * m[j], "structure")
+
+    def _charge_factor_reads(self, levels: Sequence[int]) -> None:
+        m = self.csf.fiber_counts
+        for j in levels:
+            self.counter.read_factor_rows(
+                m[j], self.csf.level_shape(j), self.rank, "factor"
+            )
+
+    # ------------------------------------------------------------------
+    # mode 0: upward sweep + memoization
+    # ------------------------------------------------------------------
+    def mode0(self, factors: Sequence[np.ndarray]) -> np.ndarray:
+        """MTTKRP for the root level; refreshes the saved partials.
+
+        Returns the dense ``N_root × R`` result in the *original* index
+        space of the root mode.
+        """
+        csf, d, rank = self.csf, self.csf.ndim, self.rank
+        lf = self._level_factors(factors)
+        part = self.partition
+        self.memo.clear()
+
+        keep_levels = sorted(set(self.plan.save_levels) | {0})
+        reps = {
+            lvl: ReplicatedArray(csf.fiber_counts[lvl], rank, self.num_threads)
+            for lvl in keep_levels
+        }
+
+        def body(th: int) -> Dict[int, Tuple[int, np.ndarray]]:
+            lo, hi = part.leaf_range(th)
+            return thread_upward_sweep(csf, lf, lo, hi, stop_level=0)
+
+        results = self.pool.map(body)
+        for th, res in enumerate(results):
+            for lvl in keep_levels:
+                nlo, tp = res[lvl]
+                reps[lvl].view(th, nlo, nlo + tp.shape[0])[:] += tp
+
+        for lvl in self.plan.save_levels:
+            self.memo[lvl] = reps[lvl].merge()
+        t0 = reps[0].merge()
+        out = np.zeros((csf.level_shape(0), rank))
+        out[csf.idx[0]] = t0
+
+        # Accounting: full traversal, factor gathers at contracted levels,
+        # output + memo writes (the boundary-replication rows are the +T).
+        self._charge_traversal(d - 1)
+        self._charge_factor_reads(range(1, d))
+        self.counter.write(csf.level_shape(0) * rank, "output")
+        for lvl in self.plan.save_levels:
+            size = (csf.fiber_counts[lvl] + self.num_threads) * rank
+            self.counter.write(size, "memo")
+            # Write-allocate: streaming stores into the fresh P^(lvl)
+            # buffer read each line before overwriting (Section IV-C's
+            # mode-0 read-side memo term).
+            self.counter.read(size, "memo-allocate")
+        # One fused multiply-add per child fiber per rank column.
+        self.counter.flop(2 * rank * sum(csf.fiber_counts[1:]), "sweep")
+        return out
+
+    # ------------------------------------------------------------------
+    # modes u > 0
+    # ------------------------------------------------------------------
+    def mode_level(self, factors: Sequence[np.ndarray], u: int) -> np.ndarray:
+        """MTTKRP for CSF level ``u``; ``mode0`` must have run this
+        iteration so the plan's saved partials are populated."""
+        csf, d, rank = self.csf, self.csf.ndim, self.rank
+        if u == 0:
+            return self.mode0(factors)
+        if not 0 < u <= d - 1:
+            raise ValueError(f"level {u} out of range")
+        lf = self._level_factors(factors)
+        part = self.partition
+        source = self.plan.source_level(u, d) if u < d - 1 else d - 1
+        if source < d - 1 and source not in self.memo:
+            raise RuntimeError(
+                f"plan saves P^({source}) but mode0 has not populated it"
+            )
+        out = np.zeros((csf.level_shape(u), rank))
+
+        if u == d - 1:
+            contribs = self._leaf_mode_contribs(lf)
+        elif source == u:
+            contribs = self._memo_direct_contribs(lf, u)
+        else:
+            contribs = self._recompute_contribs(lf, u, source)
+        for nlo, contrib in contribs:
+            scatter_add_rows(out, csf.idx[u][nlo : nlo + contrib.shape[0]], contrib)
+
+        self._charge_mode_u(u, source)
+        return out
+
+    def _memo_direct_contribs(
+        self, lf: List[np.ndarray], u: int
+    ) -> List[Tuple[int, np.ndarray]]:
+        """Fig. 1b: ``k_{u-1} ⊙ P^(u)`` over disjoint node ownership."""
+        csf, part, memo = self.csf, self.partition, self.memo[u]
+
+        def body(th: int) -> Tuple[int, np.ndarray]:
+            a, b = int(part.starts[th, u]), int(part.starts[th + 1, u])
+            k = thread_downward_k(csf, lf, u, a, b)
+            return a, k * memo[a:b]
+
+        return self.pool.map(body)
+
+    def _recompute_contribs(
+        self, lf: List[np.ndarray], u: int, source: int
+    ) -> List[Tuple[int, np.ndarray]]:
+        """Fig. 1c/1d: rebuild ``t_u`` on the fly from ``P^(source)`` (or
+        the tensor when ``source == d-1``) and fuse with the ``k`` sweep.
+
+        Boundary nodes at level ``u`` are computed partially by adjacent
+        threads; the partials carry identical ``k`` rows, so scattering
+        each thread's ``k ⊙ t_partial`` sums to the exact result.
+        """
+        csf, part, d = self.csf, self.partition, self.csf.ndim
+        init = self.memo[source] if source < d - 1 else None
+
+        def body(th: int) -> Tuple[int, np.ndarray]:
+            if source == d - 1:
+                lo, hi = part.leaf_range(th)
+                res = thread_upward_sweep(csf, lf, lo, hi, stop_level=u)
+            else:
+                a, b = int(part.starts[th, source]), int(part.starts[th + 1, source])
+                res = thread_upward_sweep(
+                    csf, lf, a, b, start_level=source, init=init, stop_level=u
+                )
+            nlo, tp = res[u]
+            k = thread_downward_k(csf, lf, u, nlo, nlo + tp.shape[0])
+            return nlo, k * tp
+
+        return self.pool.map(body)
+
+    def _leaf_mode_contribs(
+        self, lf: List[np.ndarray]
+    ) -> List[Tuple[int, np.ndarray]]:
+        """Leaf-mode kernel: ``Ā[idx] += val · k_{d-2}`` per leaf."""
+        csf, part, d = self.csf, self.partition, self.csf.ndim
+
+        def body(th: int) -> Tuple[int, np.ndarray]:
+            lo, hi = part.leaf_range(th)
+            k = thread_downward_k(csf, lf, d - 1, lo, hi)
+            return lo, csf.values[lo:hi, None] * k
+
+        return self.pool.map(body)
+
+    def _charge_mode_u(self, u: int, source: int) -> None:
+        csf, d, rank = self.csf, self.csf.ndim, self.rank
+        m = csf.fiber_counts
+        # Downward k sweep: one multiply per node per rank column over the
+        # ancestor levels.
+        flops = rank * sum(m[1 : u + 1])
+        if source == d - 1:
+            # Full traversal (values included) + every contracted factor.
+            self._charge_traversal(d - 1)
+            self._charge_factor_reads([j for j in range(d) if j != u])
+            flops += 2 * rank * sum(m[u + 1 : d])
+        else:
+            self._charge_traversal(source - 1)
+            self.counter.read(m[source] * rank, "memo")
+            self._charge_factor_reads(
+                [j for j in range(source) if j != u]
+            )
+            flops += 2 * rank * sum(m[u + 1 : source + 1])
+        # Hadamard + accumulate at the target level.
+        flops += 2 * rank * m[u]
+        self.counter.flop(flops, "mode-u")
+        # Scattered accumulation into Ā^(u): atomics or privatization
+        # (Algorithm 4 lines 13-14) — never the cheap mode-0 path.
+        self.counter.scatter_update(
+            m[u], csf.level_shape(u), rank, self.num_threads, "output"
+        )
+
+    # ------------------------------------------------------------------
+    def iteration_results(
+        self, factors: Sequence[np.ndarray]
+    ) -> List[Tuple[int, np.ndarray]]:
+        """All ``d`` MTTKRPs of one CPD iteration in level order, *without*
+        factor updates in between (kernel benchmarking; ALS uses
+        :mod:`repro.cpd.als`, which interleaves the dense updates).
+
+        Returns ``[(original_mode, result), ...]``.
+        """
+        out = []
+        res0 = self.mode0(factors)
+        out.append((self.csf.mode_order[0], res0))
+        for u in range(1, self.csf.ndim):
+            out.append((self.csf.mode_order[u], self.mode_level(factors, u)))
+        return out

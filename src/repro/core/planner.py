@@ -1,0 +1,132 @@
+"""Exhaustive configuration search driven by the data-movement model.
+
+A *configuration* is a (mode-order, memoization-plan) pair, where the mode
+order is either the length-sorted base order or that order with its last
+two levels swapped (Section II-E limits the search to this pair; the
+fiber count the swapped order needs comes from Algorithm 9 in O(nnz)).
+With ``2 × 2^(d-2)`` configurations and an O(d)-cost model per evaluation,
+the search is effectively free next to a single MTTKRP — "our model
+exhaustively checks every configuration to select the one with the lowest
+data movement estimate" (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..parallel.machine import MachineSpec
+from ..tensor.csf import CsfTensor
+from .memoization import MemoPlan, enumerate_plans
+from .model import DataMovementModel, ModelBreakdown, TensorStats
+from .modeorder import count_swapped_fibers
+
+__all__ = ["Configuration", "PlanDecision", "plan_decomposition"]
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One point of the search space with its model prediction."""
+
+    swap_last_two: bool
+    plan: MemoPlan
+    predicted_traffic: float
+    breakdown: ModelBreakdown
+
+    def describe(self) -> str:
+        """One-line human-readable summary for harness output."""
+        order = "swapped" if self.swap_last_two else "base"
+        return (
+            f"order={order} save={list(self.plan.save_levels)} "
+            f"traffic={self.predicted_traffic:.3e}"
+        )
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """The planner's output: the winning configuration plus the full
+    ranked search space (the ablation benches need the losers too)."""
+
+    best: Configuration
+    configurations: List[Configuration]
+    stats_base: TensorStats
+    stats_swapped: Optional[TensorStats]
+    rank: int
+
+    @property
+    def swap_last_two(self) -> bool:
+        return self.best.swap_last_two
+
+    @property
+    def plan(self) -> MemoPlan:
+        return self.best.plan
+
+    def best_with_swap(self, swap: bool) -> Configuration:
+        """Cheapest configuration restricted to one swap choice — used by
+        the Fig. 6.3 'opposite of the model' ablation arm."""
+        candidates = [c for c in self.configurations if c.swap_last_two == swap]
+        if not candidates:
+            raise ValueError(f"no configurations with swap={swap}")
+        return min(candidates, key=lambda c: c.predicted_traffic)
+
+    def best_with_plan(self, plan: MemoPlan) -> Configuration:
+        """Cheapest configuration restricted to one memo plan — used by
+        the Fig. 6.2 save-all / save-none ablation arms."""
+        candidates = [c for c in self.configurations if c.plan == plan]
+        if not candidates:
+            raise ValueError(f"no configurations with plan={plan}")
+        return min(candidates, key=lambda c: c.predicted_traffic)
+
+
+def plan_decomposition(
+    csf: CsfTensor,
+    rank: int,
+    machine: Optional[MachineSpec] = None,
+    *,
+    consider_swap: bool = True,
+) -> PlanDecision:
+    """Search every (order, plan) configuration and return the decision.
+
+    Parameters
+    ----------
+    csf:
+        The tensor in its *base* (length-sorted) layout.
+    rank:
+        Decomposition rank ``R``.
+    machine:
+        Cache capacity source for the model's ``DM_factor`` rule.
+    consider_swap:
+        Set ``False`` to restrict the search to the base order (used by
+        benches isolating the memoization decision; 2-D tensors are
+        restricted automatically).
+    """
+    stats_base = TensorStats.from_csf(csf)
+    d = csf.ndim
+    orders: List[tuple] = [(False, stats_base)]
+    stats_swapped: Optional[TensorStats] = None
+    if consider_swap and d >= 3:
+        swapped_m = count_swapped_fibers(csf)
+        stats_swapped = stats_base.with_swapped_last_two(swapped_m)
+        orders.append((True, stats_swapped))
+
+    configurations: List[Configuration] = []
+    for swap, stats in orders:
+        model = DataMovementModel(stats, rank, machine)
+        for plan in enumerate_plans(d):
+            bd = model.breakdown(plan)
+            configurations.append(
+                Configuration(
+                    swap_last_two=swap,
+                    plan=plan,
+                    predicted_traffic=bd.total,
+                    breakdown=bd,
+                )
+            )
+    configurations.sort(key=lambda c: (c.predicted_traffic, c.swap_last_two))
+    return PlanDecision(
+        best=configurations[0],
+        configurations=configurations,
+        stats_base=stats_base,
+        stats_swapped=stats_swapped,
+        rank=rank,
+    )

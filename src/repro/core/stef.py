@@ -1,0 +1,164 @@
+"""STeF — the Sparse Tensor Factorization facade.
+
+Ties the paper's pieces together in the order Section III-B describes:
+
+1. build the base CSF with the increasing-mode-length heuristic;
+2. run Algorithm 9 + the Section IV model to pick the configuration
+   (swap the last two modes? which ``P^(i)`` to memoize?);
+3. rebuild the CSF if the swap won;
+4. construct the memoized MTTKRP engine with Algorithm 3's fine-grained
+   load-balanced partition.
+
+The object is then a drop-in MTTKRP backend for the CP-ALS driver
+(:mod:`repro.cpd.als`) and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..parallel.counters import NULL_COUNTER, TrafficCounter
+from ..parallel.machine import MachineSpec
+from ..tensor.coo import CooTensor
+from ..tensor.csf import CsfTensor, default_mode_order
+from .memoization import MemoPlan
+from .mttkrp import MemoizedMttkrp
+from .planner import PlanDecision, plan_decomposition
+
+__all__ = ["Stef"]
+
+
+class Stef:
+    """Model-driven memoized MTTKRP backend (the paper's STeF).
+
+    Parameters
+    ----------
+    tensor:
+        Input in COO form (the CSFs are built internally).
+    rank:
+        Decomposition rank ``R``.
+    machine:
+        Machine model supplying cache capacity and the default thread
+        count.  ``None`` gives a cache-less model and one thread.
+    num_threads:
+        Override the machine's thread count.
+    plan:
+        Force a memoization plan (ablations); default lets the model pick.
+    swap_last_two:
+        Force the mode-order decision (ablations); default model choice.
+    partition:
+        ``"nnz"`` (Algorithm 3) or ``"slice"`` (prior work, ablation).
+    backend:
+        ``"serial"`` or ``"threads"`` simulated-pool execution.
+    counter:
+        Traffic accounting target.
+
+    Attributes
+    ----------
+    decision:
+        The full :class:`~repro.core.planner.PlanDecision`.
+    preprocessing_seconds:
+        Wall time spent on planning (Algorithm 9 + model search) — the
+        quantity Fig. 5 compares against one MTTKRP-set execution.
+    """
+
+    name = "stef"
+
+    def __init__(
+        self,
+        tensor: CooTensor,
+        rank: int,
+        *,
+        machine: Optional[MachineSpec] = None,
+        num_threads: Optional[int] = None,
+        plan: Optional[MemoPlan] = None,
+        swap_last_two: Optional[bool] = None,
+        partition: str = "nnz",
+        backend: str = "serial",
+        counter: TrafficCounter = NULL_COUNTER,
+    ) -> None:
+        self.tensor = tensor
+        self.rank = rank
+        self.machine = machine
+        threads = num_threads if num_threads is not None else (
+            machine.num_threads if machine else 1
+        )
+        base_order = default_mode_order(tensor.shape)
+        base_csf = CsfTensor.from_coo(tensor, base_order)
+
+        t0 = time.perf_counter()
+        self.decision: PlanDecision = plan_decomposition(
+            base_csf, rank, machine, consider_swap=tensor.ndim >= 3
+        )
+        self.preprocessing_seconds = time.perf_counter() - t0
+
+        swap = (
+            self.decision.swap_last_two if swap_last_two is None else swap_last_two
+        )
+        chosen_plan = (
+            self.decision.best_with_swap(swap).plan if plan is None else plan
+        )
+        chosen_plan.validate(tensor.ndim)
+
+        self.csf = base_csf.swapped_last_two() if swap else base_csf
+        self.swap_last_two = swap
+        self.plan = chosen_plan
+        self.engine = MemoizedMttkrp(
+            self.csf,
+            rank,
+            plan=chosen_plan,
+            num_threads=threads,
+            partition=partition,
+            backend=backend,
+            counter=counter,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def mode_order(self) -> Tuple[int, ...]:
+        """The CSF level -> original mode mapping actually in use."""
+        return self.csf.mode_order
+
+    @property
+    def num_threads(self) -> int:
+        return self.engine.num_threads
+
+    def mttkrp_level(self, factors: Sequence[np.ndarray], level: int) -> np.ndarray:
+        """MTTKRP for CSF ``level`` (level 0 refreshes the memos)."""
+        if level == 0:
+            return self.engine.mode0(factors)
+        return self.engine.mode_level(factors, level)
+
+    def iteration_results(
+        self, factors: Sequence[np.ndarray]
+    ) -> List[Tuple[int, np.ndarray]]:
+        """One CPD iteration's worth of MTTKRPs (no factor updates)."""
+        return self.engine.iteration_results(factors)
+
+    def memo_bytes(self) -> int:
+        """Footprint of the saved partial results (Table II)."""
+        return self.engine.memo_bytes()
+
+    def level_load_factor(self, level: int) -> float:
+        """Load-imbalance stretch factor of the schedule executing
+        ``level``'s MTTKRP (used by the simulated-time harness)."""
+        return self.engine.partition.max_over_mean
+
+    def decompose(self, **als_kwargs):
+        """Run CPD-ALS with this backend (convenience wrapper around
+        :func:`repro.cpd.als.cp_als`; keyword arguments pass through)."""
+        from ..cpd.als import cp_als
+
+        return cp_als(self.tensor, self.rank, backend=self, **als_kwargs)
+
+    def describe(self) -> str:
+        """One-line configuration summary for harness output."""
+        return (
+            f"{self.name}: order={self.mode_order} "
+            f"save={list(self.plan.save_levels)} "
+            f"swap={'yes' if self.swap_last_two else 'no'} "
+            f"threads={self.num_threads}"
+        )

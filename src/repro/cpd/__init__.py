@@ -1,0 +1,18 @@
+"""CP decomposition driver: Kruskal tensors, initialization, CPD-ALS."""
+
+from .kruskal import KruskalTensor
+from .init import hosvd_init, random_init
+from .als import AlsResult, als_iteration, cp_als
+from .diagnostics import congruence_matrix, corcondia, factor_match_score
+
+__all__ = [
+    "KruskalTensor",
+    "hosvd_init",
+    "random_init",
+    "AlsResult",
+    "als_iteration",
+    "cp_als",
+    "congruence_matrix",
+    "corcondia",
+    "factor_match_score",
+]

@@ -1,0 +1,223 @@
+"""CPD-ALS: the alternating least squares driver (Algorithm 2).
+
+The driver is generic over an *MTTKRP backend* — any object exposing
+
+* ``mode_order`` — a tuple mapping update position (CSF level) to the
+  original tensor mode it updates, and
+* ``mttkrp_level(factors, level)`` — the MTTKRP result for that position
+  given current factor matrices (indexed by original mode).
+
+:class:`~repro.core.stef.Stef`, :class:`~repro.core.stef2.Stef2` and every
+baseline in :mod:`repro.baselines` satisfy this protocol, so one driver
+serves the whole evaluation; backends must produce *identical* ALS
+trajectories (a property test asserts this), differing only in cost.
+
+One iteration updates each factor in backend order: compute the MTTKRP,
+solve against the Hadamard-of-Grams matrix ``V``, normalize columns into
+``λ`` (Algorithm 2 lines 2-13).  Convergence is declared when the change
+in fit drops below ``tol`` (line 14).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..ops.hadamard import gram, normalize_columns, solve_factor
+from ..tensor.coo import CooTensor
+from .init import hosvd_init, random_init
+from .kruskal import KruskalTensor
+
+__all__ = ["AlsResult", "cp_als", "als_iteration"]
+
+
+@dataclass
+class AlsResult:
+    """Outcome of a CP-ALS run.
+
+    ``fits[i]`` is the fit after iteration ``i+1``; ``converged`` is True
+    when the tolerance test (not the iteration cap) ended the run.
+    """
+
+    model: KruskalTensor
+    fits: List[float]
+    iterations: int
+    converged: bool
+    seconds: float
+    seconds_per_iteration: List[float] = field(default_factory=list)
+
+    @property
+    def final_fit(self) -> float:
+        return self.fits[-1] if self.fits else float("nan")
+
+
+def als_iteration(
+    backend,
+    factors: List[np.ndarray],
+    *,
+    ridge: float = 0.0,
+    nonneg: bool = False,
+) -> np.ndarray:
+    """Run one full CPD-ALS iteration in place, returning ``λ``.
+
+    ``factors`` is indexed by original mode and mutated as each mode is
+    updated — later MTTKRPs see the freshly updated matrices, exactly as
+    Algorithm 2 prescribes.
+
+    ``ridge`` adds Tikhonov damping (``V + ridge·I``), stabilizing
+    ill-conditioned updates; ``nonneg`` projects each updated factor onto
+    the non-negative orthant before normalization (projected ALS — the
+    simple NN-CP variant; see PLANC [7] for the full constrained family).
+    """
+    lambdas = np.ones(factors[0].shape[1])
+    rank = factors[0].shape[1]
+    for level in range(len(factors)):
+        mode = backend.mode_order[level]
+        m = backend.mttkrp_level(factors, level)
+        v = np.ones((rank, rank))
+        for other in range(len(factors)):
+            if other != mode:
+                v *= gram(factors[other])
+        if ridge > 0.0:
+            v = v + ridge * np.eye(rank)
+        updated = solve_factor(m, v)
+        if nonneg:
+            updated = np.maximum(updated, 0.0)
+        factors[mode], lambdas = normalize_columns(updated)
+    return lambdas
+
+
+def cp_als(
+    tensor: CooTensor,
+    rank: int,
+    *,
+    backend=None,
+    max_iters: int = 50,
+    tol: float = 1e-5,
+    init: str = "random",
+    seed: int = 0,
+    compute_fit: bool = True,
+    ridge: float = 0.0,
+    nonneg: bool = False,
+    callback: Optional[Callable[[int, float], None]] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 5,
+    resume: bool = False,
+) -> AlsResult:
+    """Compute the CP decomposition of a sparse tensor.
+
+    Parameters
+    ----------
+    tensor:
+        Input in COO form.
+    rank:
+        Number of rank-one components ``R``.
+    backend:
+        An MTTKRP backend instance; default constructs
+        :class:`~repro.core.stef.Stef` with the model-chosen
+        configuration.
+    max_iters, tol:
+        Convergence controls (fit-change threshold).
+    init:
+        ``"random"`` or ``"hosvd"`` factor initialization.
+    seed:
+        Initialization seed (backends must not consume randomness, so the
+        trajectory is fully determined by ``(init, seed)``).
+    compute_fit:
+        Disable to skip per-iteration fit evaluation (kernel benchmarking;
+        convergence then runs to ``max_iters``).
+    ridge:
+        Tikhonov damping added to the ``V`` matrix of every solve.
+    nonneg:
+        Project factors onto the non-negative orthant each update
+        (projected ALS; natural for the count data of Table I).
+    callback:
+        Called as ``callback(iteration, fit)`` after each iteration.
+    checkpoint_path:
+        When set, the current model and iteration count are written to
+        this ``.npz`` every ``checkpoint_every`` iterations (long runs on
+        big tensors survive interruption).
+    resume:
+        With ``checkpoint_path`` set and the file present, continue from
+        the checkpointed factors and iteration count instead of ``init``.
+    """
+    if backend is None:
+        from ..core.stef import Stef
+
+        backend = Stef(tensor, rank)
+
+    start_iter = 0
+    factors: Optional[List[np.ndarray]] = None
+    if resume:
+        if checkpoint_path is None:
+            raise ValueError("resume=True requires checkpoint_path")
+        import os
+
+        if os.path.exists(checkpoint_path):
+            with np.load(checkpoint_path) as data:
+                start_iter = int(data["iteration"])
+                factors = []
+                m = 0
+                while f"factor_{m}" in data:
+                    factors.append(np.ascontiguousarray(data[f"factor_{m}"]))
+                    m += 1
+            if len(factors) != tensor.ndim or factors[0].shape[1] != rank:
+                raise ValueError(
+                    f"checkpoint {checkpoint_path} does not match "
+                    f"tensor/rank ({len(factors)} factors)"
+                )
+    if factors is None:
+        if init == "random":
+            factors = random_init(tensor.shape, rank, seed)
+        elif init == "hosvd":
+            factors = hosvd_init(tensor, rank, seed)
+        else:
+            raise ValueError(f"unknown init {init!r}")
+
+    def _write_checkpoint(iteration: int, lambdas: np.ndarray) -> None:
+        if checkpoint_path is None:
+            return
+        arrays = {
+            "iteration": np.int64(iteration),
+            "weights": lambdas,
+        }
+        for m, f in enumerate(factors):
+            arrays[f"factor_{m}"] = f
+        np.savez_compressed(checkpoint_path, **arrays)
+
+    fits: List[float] = []
+    iter_seconds: List[float] = []
+    lambdas = np.ones(rank)
+    converged = False
+    start = time.perf_counter()
+    prev_fit = -np.inf
+    for it in range(start_iter, max_iters):
+        t0 = time.perf_counter()
+        lambdas = als_iteration(backend, factors, ridge=ridge, nonneg=nonneg)
+        iter_seconds.append(time.perf_counter() - t0)
+        if checkpoint_path is not None and (it + 1) % checkpoint_every == 0:
+            _write_checkpoint(it + 1, lambdas)
+        if compute_fit:
+            model = KruskalTensor(lambdas, factors)
+            fit = model.fit(tensor)
+            fits.append(fit)
+            if callback is not None:
+                callback(it, fit)
+            if abs(fit - prev_fit) < tol:
+                converged = True
+                break
+            prev_fit = fit
+    total = time.perf_counter() - start
+    if checkpoint_path is not None:
+        _write_checkpoint(start_iter + len(iter_seconds), lambdas)
+    return AlsResult(
+        model=KruskalTensor(lambdas, [f.copy() for f in factors]),
+        fits=fits,
+        iterations=len(iter_seconds),
+        converged=converged,
+        seconds=total,
+        seconds_per_iteration=iter_seconds,
+    )

@@ -1,0 +1,76 @@
+"""Factor matrix initialization for CP-ALS.
+
+Two standard strategies:
+
+* :func:`random_init` — i.i.d. uniform(0,1) entries (SPLATT's default);
+  deterministic per seed so backend-comparison tests can demand identical
+  ALS trajectories.
+* :func:`hosvd_init` — leading left singular vectors of each sparse mode
+  unfolding (a HOSVD-style warm start), falling back to random columns
+  when a mode is too small to supply ``R`` singular vectors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..tensor.coo import CooTensor
+
+__all__ = ["random_init", "hosvd_init"]
+
+
+def random_init(
+    shape: Sequence[int], rank: int, seed: int = 0
+) -> List[np.ndarray]:
+    """Uniform(0,1) factor matrices, one per mode, deterministic in
+    ``seed``."""
+    rng = np.random.default_rng(seed)
+    return [rng.random((int(n), rank)) for n in shape]
+
+
+def _unfold_csr(tensor: CooTensor, mode: int) -> sp.csr_matrix:
+    """Sparse mode-``mode`` unfolding as CSR (C-order column indexing,
+    matching :func:`repro.ops.dense_ref.unfold`)."""
+    rows = tensor.indices[mode]
+    other = [m for m in range(tensor.ndim) if m != mode]
+    cols = np.zeros(tensor.nnz, dtype=np.int64)
+    stride = 1
+    for m in reversed(other):
+        cols += tensor.indices[m] * stride
+        stride *= tensor.shape[m]
+    n_cols = int(stride)
+    return sp.csr_matrix(
+        (tensor.values, (rows, cols)), shape=(tensor.shape[mode], n_cols)
+    )
+
+
+def hosvd_init(
+    tensor: CooTensor, rank: int, seed: int = 0
+) -> List[np.ndarray]:
+    """HOSVD-style initialization: ``rank`` leading left singular vectors
+    of each mode unfolding, padded with random columns where the unfolding
+    cannot supply that many (``rank >= min(matrix dims)``)."""
+    rng = np.random.default_rng(seed)
+    factors: List[np.ndarray] = []
+    for mode in range(tensor.ndim):
+        n = tensor.shape[mode]
+        unf = _unfold_csr(tensor, mode)
+        k = min(rank, min(unf.shape) - 1)
+        if k < 1:
+            factors.append(rng.random((n, rank)))
+            continue
+        try:
+            u, _s, _vt = spla.svds(unf, k=k)
+            u = u[:, ::-1]  # svds returns ascending singular values
+        except Exception:
+            factors.append(rng.random((n, rank)))
+            continue
+        if k < rank:
+            pad = rng.random((n, rank - k))
+            u = np.hstack([u, pad])
+        factors.append(np.ascontiguousarray(u))
+    return factors

@@ -1,0 +1,41 @@
+"""Tensor algebra substrate: KRP, Gram chains, TTM/mTTV/MTTV, dense oracle."""
+
+from .krp import khatri_rao, khatri_rao_chain, khatri_rao_excluding, krp_rows
+from .hadamard import (
+    cp_gram_norm_sq,
+    gram,
+    gram_hadamard_chain,
+    normalize_columns,
+    solve_factor,
+)
+from .partial import PartialTensor, mttv, mttv_reduce, ttm_last_mode
+from .dense_ref import (
+    cp_fit,
+    cp_reconstruct,
+    mttkrp_coo_reference,
+    mttkrp_dense,
+    partial_mttkrp_dense,
+    unfold,
+)
+
+__all__ = [
+    "khatri_rao",
+    "khatri_rao_chain",
+    "khatri_rao_excluding",
+    "krp_rows",
+    "gram",
+    "gram_hadamard_chain",
+    "solve_factor",
+    "normalize_columns",
+    "cp_gram_norm_sq",
+    "PartialTensor",
+    "ttm_last_mode",
+    "mttv",
+    "mttv_reduce",
+    "unfold",
+    "mttkrp_dense",
+    "mttkrp_coo_reference",
+    "partial_mttkrp_dense",
+    "cp_reconstruct",
+    "cp_fit",
+]

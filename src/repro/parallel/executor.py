@@ -1,0 +1,140 @@
+"""Simulated shared-memory execution and boundary-replicated buffers.
+
+The paper's kernels run as OpenMP parallel loops.  Here each "thread" is a
+Python callable invoked with its thread id; the :class:`SimulatedPool`
+runs them either serially (deterministic, default — per-thread *work* is
+what the study measures, not Python's GIL behaviour) or on a real
+``ThreadPoolExecutor`` (NumPy releases the GIL inside kernels, so this
+exercises genuine concurrency on multicore hosts).
+
+:class:`ReplicatedArray` implements the paper's conflict-avoidance scheme
+(Sections II-D and III-A): output rows live in a buffer of ``N + T`` rows
+instead of ``N``; thread ``th`` writes row ``n`` at position ``n + th``.
+Because per-thread node ranges are non-decreasing and overlap only at the
+single shared boundary node, the shift makes every (node, thread) slot
+unique — no atomics, no full privatization.  ``merge`` folds the shifted
+per-thread stripes back into the canonical ``N×R`` array with ``T``
+vectorized slice-adds.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+__all__ = ["SimulatedPool", "ReplicatedArray"]
+
+T = TypeVar("T")
+
+
+class SimulatedPool:
+    """Runs ``fn(th)`` for every thread id and collects the results.
+
+    Parameters
+    ----------
+    num_threads:
+        Number of simulated threads.
+    backend:
+        ``"serial"`` (default) executes thread bodies in order — fully
+        deterministic, the mode used by tests and the traffic harness.
+        ``"threads"`` uses a real thread pool.
+    """
+
+    def __init__(self, num_threads: int, backend: str = "serial") -> None:
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        if backend not in ("serial", "threads"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.num_threads = num_threads
+        self.backend = backend
+
+    def map(self, fn: Callable[[int], T]) -> List[T]:
+        """Invoke ``fn`` once per thread id, returning results in id order."""
+        if self.backend == "serial" or self.num_threads == 1:
+            return [fn(th) for th in range(self.num_threads)]
+        with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
+            return list(pool.map(fn, range(self.num_threads)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimulatedPool(num_threads={self.num_threads}, backend={self.backend!r})"
+
+
+class ReplicatedArray:
+    """An ``(N + T) × R`` accumulation buffer with thread-id shifted writes.
+
+    Thread ``th`` obtains a writable view of its node range with
+    :meth:`view`; after all threads finish, :meth:`merge` produces the
+    canonical ``N × R`` result.
+
+    The buffer starts zeroed; every view is an *accumulation* target
+    (kernels use ``+=``).
+    """
+
+    def __init__(
+        self, n_rows: int, rank: int, num_threads: int, dtype=np.float64
+    ) -> None:
+        if n_rows < 0 or rank < 1 or num_threads < 1:
+            raise ValueError("invalid ReplicatedArray dimensions")
+        self.n_rows = n_rows
+        self.rank = rank
+        self.num_threads = num_threads
+        self.buffer = np.zeros((n_rows + num_threads, rank), dtype=dtype)
+        # Per-thread written node ranges (inclusive lo, exclusive hi),
+        # recorded by view() and consumed by merge().
+        self._ranges: List[Tuple[int, int, int]] = []
+
+    @property
+    def nbytes(self) -> int:
+        """Buffer footprint — the paper's Table II space accounting charges
+        the replicated size ``(N + T)·R``."""
+        return int(self.buffer.nbytes)
+
+    def view(self, th: int, lo: int, hi: int) -> np.ndarray:
+        """Writable slice covering node range ``[lo, hi)`` for thread
+        ``th``, shifted by the thread id.
+
+        Raises
+        ------
+        ValueError
+            If the range is out of bounds or the thread id is invalid.
+        """
+        if not 0 <= th < self.num_threads:
+            raise ValueError(f"thread id {th} out of range")
+        if not 0 <= lo <= hi <= self.n_rows:
+            raise ValueError(f"node range [{lo}, {hi}) out of bounds")
+        self._ranges.append((th, lo, hi))
+        return self.buffer[lo + th : hi + th]
+
+    def merge(self) -> np.ndarray:
+        """Fold the shifted per-thread stripes into the canonical array.
+
+        One vectorized slice-add per recorded view; the result has shape
+        ``(n_rows, rank)``.
+        """
+        out = np.zeros((self.n_rows, self.rank), dtype=self.buffer.dtype)
+        for th, lo, hi in self._ranges:
+            if hi > lo:
+                out[lo:hi] += self.buffer[lo + th : hi + th]
+        return out
+
+    def merge_into(self, out: np.ndarray) -> np.ndarray:
+        """Like :meth:`merge` but accumulates into a caller-provided array."""
+        if out.shape != (self.n_rows, self.rank):
+            raise ValueError(
+                f"target shape {out.shape} != {(self.n_rows, self.rank)}"
+            )
+        for th, lo, hi in self._ranges:
+            if hi > lo:
+                out[lo:hi] += self.buffer[lo + th : hi + th]
+        return out
+
+
+def run_partitioned(
+    pool: SimulatedPool,
+    body: Callable[[int], T],
+) -> List[T]:
+    """Convenience wrapper mirroring ``#pragma omp parallel``: run ``body``
+    on every simulated thread of ``pool``."""
+    return pool.map(body)

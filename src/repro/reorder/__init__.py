@@ -1,0 +1,5 @@
+"""Index reordering: Lexi-Order relabeling and controls."""
+
+from .lexi import Relabeling, apply_relabeling, lexi_order, random_relabel
+
+__all__ = ["Relabeling", "apply_relabeling", "lexi_order", "random_relabel"]

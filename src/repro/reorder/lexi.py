@@ -1,0 +1,153 @@
+"""Lexi-Order index relabeling (Li et al., ICS 2019).
+
+The paper's related-work section singles out Lexi-Order as a reordering
+that "seems to improve speedup significantly in each case" and is
+*complementary* to STeF's contributions (Section V).  This module
+implements it so the complementarity claim can be tested: relabel the
+indices of each mode so that slices with similar sparsity patterns get
+adjacent ids, clustering non-zeros, lengthening fibers and reducing the
+number of occupied HiCOO blocks.
+
+Algorithm
+---------
+One round visits every mode ``m`` in turn: the tensor is viewed as a
+(mode-m rows) × (linearized remaining modes) sparse matrix, rows are
+sorted *lexicographically by their column patterns* (doubly-lexical
+style), and mode-``m`` ids are relabeled in that order.  Because
+relabeling one mode changes the column patterns of the others, the round
+is repeated (``iterations`` times; Li et al. use a small constant).
+
+The reference algorithm uses partition refinement for O(nnz) per round;
+this implementation sorts per-row column tuples, which is O(nnz log nnz)
+and fully adequate at laptop scale while being obviously correct.
+
+Outputs are per-mode permutations plus the relabeled tensor;
+:func:`apply_relabeling` also maps factor matrices back to the original
+index space after a decomposition (rows of the factors are permuted, the
+model itself is unchanged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..tensor.coo import CooTensor
+
+__all__ = ["Relabeling", "lexi_order", "random_relabel", "apply_relabeling"]
+
+
+@dataclass(frozen=True)
+class Relabeling:
+    """Per-mode index permutations.
+
+    ``perms[m][old_id] = new_id``.  Ids that never appear among the
+    non-zeros keep a stable relabeling after all appearing ids.
+    """
+
+    perms: List[np.ndarray]
+
+    def apply(self, tensor: CooTensor) -> CooTensor:
+        """Relabel a tensor's indices (values untouched)."""
+        if len(self.perms) != tensor.ndim:
+            raise ValueError("relabeling arity does not match tensor")
+        idx = np.vstack(
+            [self.perms[m][tensor.indices[m]] for m in range(tensor.ndim)]
+        )
+        return CooTensor.from_arrays(
+            idx, tensor.values, tensor.shape, sum_duplicates=False
+        )
+
+    def invert(self) -> "Relabeling":
+        """The inverse permutations (new -> old)."""
+        inv = []
+        for p in self.perms:
+            q = np.empty_like(p)
+            q[p] = np.arange(p.shape[0])
+            inv.append(q)
+        return Relabeling(inv)
+
+    def unrelabel_factors(
+        self, factors: Sequence[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Permute factor-matrix rows back to the original index space:
+        a decomposition of the relabeled tensor becomes a decomposition of
+        the original one."""
+        if len(factors) != len(self.perms):
+            raise ValueError("factor count does not match relabeling arity")
+        return [np.asarray(f)[self.perms[m]] for m, f in enumerate(factors)]
+
+
+def _identity(n: int) -> np.ndarray:
+    return np.arange(n, dtype=np.int64)
+
+
+def _relabel_one_mode(tensor: CooTensor, mode: int) -> np.ndarray:
+    """One Lexi-Order step: permutation for ``mode`` (old -> new)."""
+    n = tensor.shape[mode]
+    if tensor.nnz == 0:
+        return _identity(n)
+    rows = tensor.indices[mode]
+    # Linearize the remaining modes into column ids (row-major).
+    cols = np.zeros(tensor.nnz, dtype=np.int64)
+    stride = 1
+    for m in range(tensor.ndim - 1, -1, -1):
+        if m == mode:
+            continue
+        cols += tensor.indices[m] * stride
+        stride *= tensor.shape[m]
+    order = np.lexsort((cols, rows))
+    r_sorted, c_sorted = rows[order], cols[order]
+    # Build per-row column tuples.
+    starts = np.flatnonzero(np.diff(r_sorted, prepend=-1))
+    bounds = np.append(starts, tensor.nnz)
+    keys = {}
+    for i in range(starts.size):
+        row = int(r_sorted[starts[i]])
+        keys[row] = tuple(c_sorted[bounds[i] : bounds[i + 1]].tolist())
+    appearing = sorted(keys, key=lambda r: keys[r])
+    perm = np.full(n, -1, dtype=np.int64)
+    for new_id, old_id in enumerate(appearing):
+        perm[old_id] = new_id
+    # Empty slices keep stable order after the appearing ones.
+    empty = np.flatnonzero(perm < 0)
+    perm[empty] = np.arange(len(appearing), n, dtype=np.int64)
+    return perm
+
+
+def lexi_order(tensor: CooTensor, iterations: int = 2) -> Relabeling:
+    """Compute Lexi-Order relabelings for every mode.
+
+    ``iterations`` full rounds over the modes; each step sees the
+    relabelings chosen so far (the iterative refinement of the original
+    algorithm).
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    perms = [_identity(n) for n in tensor.shape]
+    current = tensor
+    for _ in range(iterations):
+        for mode in range(tensor.ndim):
+            step = _relabel_one_mode(current, mode)
+            perms[mode] = step[perms[mode]]
+            current = Relabeling(
+                [step if m == mode else _identity(current.shape[m])
+                 for m in range(tensor.ndim)]
+            ).apply(current)
+    return Relabeling(perms)
+
+
+def random_relabel(tensor: CooTensor, seed: int = 0) -> Relabeling:
+    """Uniformly random permutations — the de-clustering control arm for
+    reordering experiments."""
+    rng = np.random.default_rng(seed)
+    return Relabeling(
+        [rng.permutation(n).astype(np.int64) for n in tensor.shape]
+    )
+
+
+def apply_relabeling(tensor: CooTensor, relabeling: Relabeling) -> CooTensor:
+    """Convenience alias for ``relabeling.apply(tensor)``."""
+    return relabeling.apply(tensor)

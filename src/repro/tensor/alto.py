@@ -1,0 +1,189 @@
+"""ALTO: Adaptive Linearized Tensor Order storage (Helal et al., ICS 2021).
+
+ALTO is one of the paper's baselines (Section V / Figures 3-4).  It stores
+every non-zero as a single linearized integer formed by *bit-interleaving*
+the per-mode coordinates: mode ``m`` contributes ``ceil(log2(I_m))`` bits,
+and the bit positions of the different modes are interleaved so that
+non-zeros that are close in the linearized order are close in *every* mode
+— this is what gives ALTO its locality and its natural, perfectly balanced
+work partitioning (split the sorted linear index evenly).
+
+We implement:
+
+* :func:`bits_for_mode` / :class:`AltoMask` — the per-mode bit masks.
+* :class:`AltoTensor` — encode a COO tensor into linearized form (sorted),
+  decode back, extract per-mode coordinates vectorized, and split into
+  equal non-zero partitions.
+
+The MTTKRP kernel over this format lives in
+:mod:`repro.baselines.alto_mttkrp`; this module is pure storage.
+
+The paper's ALTO uses 64- or 128-bit indices depending on the tensor; we
+use Python/NumPy ``uint64`` when the total bit budget fits and fall back to
+Python big-int ``object`` arrays otherwise (matching the 64/128-bit switch
+in spirit — the harness reports which variant was used, as the paper does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .coo import CooTensor
+
+__all__ = ["bits_for_mode", "AltoMask", "AltoTensor"]
+
+
+def bits_for_mode(length: int) -> int:
+    """Number of bits needed to encode coordinates in ``[0, length)``."""
+    if length <= 1:
+        return 1
+    return int(length - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class AltoMask:
+    """Interleaved bit layout for one tensor shape.
+
+    ``positions[m]`` lists the global bit positions (LSB = 0) assigned to
+    mode ``m``, from the mode's least significant bit upward.  Bits are
+    assigned round-robin across modes starting from the mode with the most
+    bits, mirroring ALTO's balanced interleaving.
+    """
+
+    shape: Tuple[int, ...]
+    positions: Tuple[Tuple[int, ...], ...]
+
+    @classmethod
+    def for_shape(cls, shape: Sequence[int]) -> "AltoMask":
+        shape = tuple(int(s) for s in shape)
+        nbits = [bits_for_mode(s) for s in shape]
+        remaining = list(nbits)
+        positions: List[List[int]] = [[] for _ in shape]
+        bit = 0
+        # Round-robin over modes that still need bits; visit longer modes
+        # first inside each round so their low bits sit lowest.
+        order = sorted(range(len(shape)), key=lambda m: -nbits[m])
+        while any(r > 0 for r in remaining):
+            for m in order:
+                if remaining[m] > 0:
+                    positions[m].append(bit)
+                    bit += 1
+                    remaining[m] -= 1
+        return cls(shape, tuple(tuple(p) for p in positions))
+
+    @property
+    def total_bits(self) -> int:
+        """Width of the linearized index in bits."""
+        return sum(len(p) for p in self.positions)
+
+    def encode(self, indices: np.ndarray) -> np.ndarray:
+        """Interleave a ``(ndim, nnz)`` coordinate matrix into linear ids.
+
+        Returns ``uint64`` when the layout fits in 64 bits, otherwise an
+        ``object`` array of Python ints (the "128-bit" pathway).
+        """
+        wide = self.total_bits > 64
+        if wide:
+            out = np.zeros(indices.shape[1], dtype=object)
+            cols = [int_col.astype(object) for int_col in indices]
+        else:
+            out = np.zeros(indices.shape[1], dtype=np.uint64)
+            cols = [c.astype(np.uint64) for c in indices]
+        for m, pos in enumerate(self.positions):
+            col = cols[m]
+            for local_bit, global_bit in enumerate(pos):
+                if wide:
+                    out |= ((col >> local_bit) & 1) << global_bit
+                else:
+                    bitval = (col >> np.uint64(local_bit)) & np.uint64(1)
+                    out |= bitval << np.uint64(global_bit)
+        return out
+
+    def decode_mode(self, linear: np.ndarray, mode: int) -> np.ndarray:
+        """Extract mode-``mode`` coordinates from linearized ids."""
+        pos = self.positions[mode]
+        wide = linear.dtype == object
+        if wide:
+            out = np.zeros(linear.shape[0], dtype=object)
+            for local_bit, global_bit in enumerate(pos):
+                out |= ((linear >> global_bit) & 1) << local_bit
+            return out.astype(np.int64)
+        out = np.zeros(linear.shape[0], dtype=np.uint64)
+        for local_bit, global_bit in enumerate(pos):
+            bitval = (linear >> np.uint64(global_bit)) & np.uint64(1)
+            out |= bitval << np.uint64(local_bit)
+        return out.astype(np.int64)
+
+    def decode(self, linear: np.ndarray) -> np.ndarray:
+        """Full ``(ndim, nnz)`` coordinate matrix from linearized ids."""
+        return np.vstack([self.decode_mode(linear, m) for m in range(len(self.shape))])
+
+
+@dataclass(frozen=True)
+class AltoTensor:
+    """A sparse tensor stored in ALTO linearized order.
+
+    ``linear`` is sorted ascending; ``values`` is aligned with it.  The
+    coordinate matrix for any mode is recovered on demand via the mask.
+    """
+
+    mask: AltoMask
+    linear: np.ndarray
+    values: np.ndarray
+
+    @classmethod
+    def from_coo(cls, coo: CooTensor) -> "AltoTensor":
+        mask = AltoMask.for_shape(coo.shape)
+        lin = mask.encode(coo.indices)
+        order = np.argsort(lin, kind="stable")
+        return cls(mask, lin[order], coo.values[order].copy())
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Dense extents."""
+        return self.mask.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of modes."""
+        return len(self.mask.shape)
+
+    @property
+    def nnz(self) -> int:
+        """Stored non-zero count."""
+        return self.values.shape[0]
+
+    @property
+    def index_bits(self) -> int:
+        """Bits per linearized index (64 vs 128 reporting, as in the paper)."""
+        return 64 if self.mask.total_bits <= 64 else 128
+
+    def mode_indices(self, mode: int) -> np.ndarray:
+        """Per-non-zero coordinates of ``mode`` (decoded, int64)."""
+        return self.mask.decode_mode(self.linear, mode)
+
+    def to_coo(self) -> CooTensor:
+        """Round-trip back to COO (original mode numbering)."""
+        return CooTensor.from_arrays(
+            self.mask.decode(self.linear), self.values, self.shape,
+            sum_duplicates=False,
+        )
+
+    def partitions(self, num_parts: int) -> List[Tuple[int, int]]:
+        """Equal-nnz half-open ranges over the linearized stream.
+
+        This is ALTO's headline load-balancing property: because the storage
+        is a flat sorted array, splitting work evenly is trivial.
+        """
+        if num_parts < 1:
+            raise ValueError("num_parts must be >= 1")
+        bounds = np.linspace(0, self.nnz, num_parts + 1).astype(np.int64)
+        return [(int(bounds[i]), int(bounds[i + 1])) for i in range(num_parts)]
+
+    def footprint_bytes(self) -> int:
+        """Storage footprint: linear ids + values."""
+        per_index = 8 if self.index_bits == 64 else 16
+        return self.nnz * per_index + int(self.values.nbytes)

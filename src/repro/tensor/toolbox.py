@@ -1,0 +1,125 @@
+"""Sparse tensor toolbox: elementwise algebra and structural queries.
+
+Operations a downstream user of a tensor library expects beyond
+decomposition itself: linear combinations and Hadamard products of COO
+tensors (merge-join on canonical coordinate order), mode marginals,
+slice extraction, and distance/agreement measures.  All vectorized; all
+results canonical COO.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .coo import CooTensor
+
+__all__ = [
+    "add",
+    "subtract",
+    "hadamard_product",
+    "frobenius_distance",
+    "mode_marginals",
+    "extract_slice",
+    "top_slices",
+]
+
+
+def _require_same_shape(a: CooTensor, b: CooTensor) -> None:
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+
+
+def add(a: CooTensor, b: CooTensor, alpha: float = 1.0, beta: float = 1.0) -> CooTensor:
+    """Linear combination ``alpha·A + beta·B`` (union of supports)."""
+    _require_same_shape(a, b)
+    idx = np.hstack([a.indices, b.indices])
+    vals = np.concatenate([alpha * a.values, beta * b.values])
+    return CooTensor.from_arrays(idx, vals, a.shape)
+
+
+def subtract(a: CooTensor, b: CooTensor) -> CooTensor:
+    """``A - B``."""
+    return add(a, b, 1.0, -1.0)
+
+
+def _match_coordinates(a: CooTensor, b: CooTensor) -> Tuple[np.ndarray, np.ndarray]:
+    """Positions of coordinates present in *both* tensors (both canonical:
+    sorted, duplicate-free), via linearized-key intersection."""
+    strides = np.ones(a.ndim, dtype=np.float64)
+    for m in range(a.ndim - 2, -1, -1):
+        strides[m] = strides[m + 1] * a.shape[m + 1]
+    if strides[0] * a.shape[0] < 2**62:
+        st = strides.astype(np.int64)
+        ka = (a.indices * st[:, None]).sum(axis=0)
+        kb = (b.indices * st[:, None]).sum(axis=0)
+        common, ia, ib = np.intersect1d(ka, kb, return_indices=True)
+        return ia, ib
+    # Huge index spaces: structured comparison via void view.
+    def keys(t: CooTensor) -> np.ndarray:
+        arr = np.ascontiguousarray(t.indices.T)
+        return arr.view([("", arr.dtype)] * t.ndim).ravel()
+
+    _, ia, ib = np.intersect1d(keys(a), keys(b), return_indices=True)
+    return ia, ib
+
+
+def hadamard_product(a: CooTensor, b: CooTensor) -> CooTensor:
+    """Elementwise product ``A * B`` (intersection of supports)."""
+    _require_same_shape(a, b)
+    ia, ib = _match_coordinates(a, b)
+    return CooTensor.from_arrays(
+        a.indices[:, ia], a.values[ia] * b.values[ib], a.shape,
+        sum_duplicates=False,
+    )
+
+
+def frobenius_distance(a: CooTensor, b: CooTensor) -> float:
+    """``‖A - B‖_F`` computed sparsely via
+    ``‖A‖² - 2⟨A,B⟩ + ‖B‖²`` (inner product over the common support)."""
+    _require_same_shape(a, b)
+    ia, ib = _match_coordinates(a, b)
+    inner = float(a.values[ia] @ b.values[ib])
+    sq = float(a.values @ a.values) - 2.0 * inner + float(b.values @ b.values)
+    return float(np.sqrt(max(0.0, sq)))
+
+
+def mode_marginals(tensor: CooTensor, mode: int) -> np.ndarray:
+    """Per-index sums along ``mode``: ``out[i] = Σ_{coords with i} value``
+    (the "activity" profile used for factor interpretation)."""
+    if not 0 <= mode < tensor.ndim:
+        raise ValueError(f"mode {mode} out of range")
+    return np.bincount(
+        tensor.indices[mode], weights=tensor.values, minlength=tensor.shape[mode]
+    )
+
+
+def extract_slice(tensor: CooTensor, mode: int, index: int) -> CooTensor:
+    """The ``(d-1)``-dimensional slice ``T[..., index, ...]`` at ``mode``."""
+    if not 0 <= mode < tensor.ndim:
+        raise ValueError(f"mode {mode} out of range")
+    if not 0 <= index < tensor.shape[mode]:
+        raise ValueError(f"index {index} out of range for mode {mode}")
+    mask = tensor.indices[mode] == index
+    keep = [m for m in range(tensor.ndim) if m != mode]
+    return CooTensor.from_arrays(
+        tensor.indices[keep][:, mask],
+        tensor.values[mask],
+        tuple(tensor.shape[m] for m in keep),
+        sum_duplicates=False,
+    )
+
+
+def top_slices(tensor: CooTensor, mode: int, k: int = 5) -> np.ndarray:
+    """Indices of the ``k`` heaviest slices along ``mode`` (by absolute
+    marginal mass), heaviest first."""
+    marg = np.abs(
+        np.bincount(
+            tensor.indices[mode],
+            weights=np.abs(tensor.values),
+            minlength=tensor.shape[mode],
+        )
+    )
+    k = min(k, tensor.shape[mode])
+    return np.argsort(-marg)[:k]

@@ -1,0 +1,53 @@
+"""Shared fixtures: small random tensors with dense oracles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import CooTensor, CsfTensor, random_tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def coo3(rng) -> CooTensor:
+    """Small 3-D tensor with duplicates-free random structure."""
+    return random_tensor((11, 8, 6), nnz=120, seed=1)
+
+
+@pytest.fixture
+def coo4(rng) -> CooTensor:
+    """Small 4-D tensor."""
+    return random_tensor((9, 7, 6, 5), nnz=200, seed=2)
+
+
+@pytest.fixture
+def coo5(rng) -> CooTensor:
+    """Small 5-D tensor."""
+    return random_tensor((7, 6, 5, 4, 4), nnz=250, seed=3)
+
+
+@pytest.fixture(params=["coo3", "coo4", "coo5"])
+def coo_any(request) -> CooTensor:
+    """Parametrized over 3/4/5-D tensors."""
+    return request.getfixturevalue(request.param)
+
+
+@pytest.fixture
+def csf4(coo4) -> CsfTensor:
+    return CsfTensor.from_coo(coo4, (0, 1, 2, 3))
+
+
+def make_factors(shape, rank, seed=0):
+    """Random Gaussian factor matrices for a tensor shape."""
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((n, rank)) for n in shape]
+
+
+@pytest.fixture
+def factors4(coo4):
+    return make_factors(coo4.shape, rank=4, seed=10)

@@ -1,0 +1,125 @@
+"""Hypothesis property tests for the tensor-algebra identities the
+library's correctness rests on."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ops import (
+    cp_gram_norm_sq,
+    gram,
+    khatri_rao,
+    khatri_rao_chain,
+    krp_rows,
+    mttkrp_dense,
+    unfold,
+)
+from repro.ops.dense_ref import cp_reconstruct
+
+
+@st.composite
+def matrices(draw, max_rows=6, rank=None):
+    r = rank or draw(st.integers(1, 4))
+    rows = draw(st.integers(1, max_rows))
+    data = draw(
+        st.lists(
+            st.floats(-5, 5, allow_nan=False, width=32),
+            min_size=rows * r,
+            max_size=rows * r,
+        )
+    )
+    return np.array(data).reshape(rows, r)
+
+
+@st.composite
+def matrix_pairs(draw):
+    r = draw(st.integers(1, 4))
+    return draw(matrices(rank=r)), draw(matrices(rank=r))
+
+
+@given(matrix_pairs())
+@settings(max_examples=50, deadline=None)
+def test_krp_gram_identity(pair):
+    """(A ⊙ B)ᵀ(A ⊙ B) == (AᵀA) * (BᵀB) — the identity CPD-ALS uses to
+    avoid forming the KRP (Algorithm 2's V matrices)."""
+    a, b = pair
+    m = khatri_rao(a, b)
+    assert np.allclose(gram(m), gram(a) * gram(b), atol=1e-8)
+
+
+@given(matrix_pairs())
+@settings(max_examples=50, deadline=None)
+def test_krp_column_norms(pair):
+    """Column norms of a KRP factor into products of column norms."""
+    a, b = pair
+    m = khatri_rao(a, b)
+    na = np.linalg.norm(a, axis=0)
+    nb = np.linalg.norm(b, axis=0)
+    assert np.allclose(np.linalg.norm(m, axis=0), na * nb, atol=1e-8)
+
+
+@given(matrix_pairs(), st.integers(0, 10**6))
+@settings(max_examples=40, deadline=None)
+def test_krp_rows_consistent_with_full(pair, seed):
+    a, b = pair
+    rng = np.random.default_rng(seed)
+    ia = rng.integers(0, a.shape[0], 5)
+    ib = rng.integers(0, b.shape[0], 5)
+    full = khatri_rao(a, b)
+    rows = krp_rows([a, b], [ia, ib])
+    for p in range(5):
+        assert np.allclose(rows[p], full[ia[p] * b.shape[0] + ib[p]])
+
+
+@given(st.integers(1, 3), st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_cp_norm_identity(rank, seed):
+    """‖[[λ; A, B, C]]‖² == λᵀ(⊛ AᵀA)λ for random models."""
+    rng = np.random.default_rng(seed)
+    shape = rng.integers(2, 5, size=3)
+    factors = [rng.standard_normal((n, rank)) for n in shape]
+    weights = rng.random(rank) + 0.1
+    dense = cp_reconstruct(factors, weights)
+    assert np.isclose(
+        cp_gram_norm_sq(factors, weights), np.sum(dense**2), rtol=1e-8
+    )
+
+
+@given(st.integers(2, 4), st.integers(1, 3), st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_mttkrp_of_exact_cp_model(ndim, rank, seed):
+    """For T = [[A_0..A_{d-1}]], MTTKRP_u(T) == A_u · ⊛_{m≠u}(A_mᵀA_m) —
+    the fixed-point property that makes ALS stationary at exact models."""
+    rng = np.random.default_rng(seed)
+    shape = rng.integers(2, 5, size=ndim)
+    factors = [rng.standard_normal((n, rank)) for n in shape]
+    dense = cp_reconstruct(factors)
+    for u in range(ndim):
+        v = np.ones((rank, rank))
+        for m in range(ndim):
+            if m != u:
+                v *= gram(factors[m])
+        assert np.allclose(
+            mttkrp_dense(dense, factors, u), factors[u] @ v, atol=1e-7
+        )
+
+
+@given(st.integers(2, 4), st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_unfold_preserves_norm_and_entries(ndim, seed):
+    rng = np.random.default_rng(seed)
+    shape = rng.integers(2, 5, size=ndim)
+    t = rng.standard_normal(tuple(shape))
+    for u in range(ndim):
+        m = unfold(t, u)
+        assert m.shape == (shape[u], t.size // shape[u])
+        assert np.isclose(np.linalg.norm(m), np.linalg.norm(t))
+
+
+@given(st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_chain_matches_nested_pairwise(seed):
+    rng = np.random.default_rng(seed)
+    r = int(rng.integers(1, 4))
+    mats = [rng.standard_normal((int(rng.integers(1, 4)), r)) for _ in range(4)]
+    nested = khatri_rao(khatri_rao(khatri_rao(mats[0], mats[1]), mats[2]), mats[3])
+    assert np.allclose(khatri_rao_chain(mats), nested)

@@ -1,0 +1,85 @@
+"""Tests for ALS checkpoint/resume."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.baselines import SplattAll
+from repro.cpd import cp_als
+from repro.tensor import low_rank_tensor
+
+
+@pytest.fixture
+def workload():
+    return low_rank_tensor((10, 9, 8), rank=2, nnz=500, noise=0.1, seed=0)
+
+
+class TestCheckpoint:
+    def test_checkpoint_written(self, workload, tmp_path):
+        path = str(tmp_path / "ck.npz")
+        cp_als(
+            workload, 2, backend=SplattAll(workload, 2), max_iters=4, tol=0,
+            checkpoint_path=path, checkpoint_every=2,
+        )
+        assert os.path.exists(path)
+        with np.load(path) as data:
+            assert int(data["iteration"]) == 4
+            assert "factor_0" in data and "factor_2" in data
+
+    def test_resume_continues_trajectory(self, workload, tmp_path):
+        """Run 6 iterations straight vs 3 + resume 3: identical final
+        factors (the checkpoint captures the full ALS state)."""
+        path = str(tmp_path / "ck.npz")
+        straight = cp_als(
+            workload, 2, backend=SplattAll(workload, 2), max_iters=6, tol=0,
+            seed=3,
+        )
+        cp_als(
+            workload, 2, backend=SplattAll(workload, 2), max_iters=3, tol=0,
+            seed=3, checkpoint_path=path, checkpoint_every=3,
+        )
+        resumed = cp_als(
+            workload, 2, backend=SplattAll(workload, 2), max_iters=6, tol=0,
+            seed=999,  # ignored: factors come from the checkpoint
+            checkpoint_path=path, resume=True,
+        )
+        assert resumed.iterations == 3  # only the remaining iterations ran
+        for a, b in zip(straight.model.factors, resumed.model.factors):
+            assert np.allclose(a, b, atol=1e-10)
+
+    def test_resume_without_path_raises(self, workload):
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            cp_als(workload, 2, backend=SplattAll(workload, 2), resume=True)
+
+    def test_resume_missing_file_starts_fresh(self, workload, tmp_path):
+        path = str(tmp_path / "absent.npz")
+        res = cp_als(
+            workload, 2, backend=SplattAll(workload, 2), max_iters=2, tol=0,
+            checkpoint_path=path, resume=True,
+        )
+        assert res.iterations == 2
+
+    def test_resume_mismatched_rank_raises(self, workload, tmp_path):
+        path = str(tmp_path / "ck.npz")
+        cp_als(
+            workload, 2, backend=SplattAll(workload, 2), max_iters=2, tol=0,
+            checkpoint_path=path,
+        )
+        with pytest.raises(ValueError, match="does not match"):
+            cp_als(
+                workload, 5, backend=SplattAll(workload, 5), max_iters=2,
+                tol=0, checkpoint_path=path, resume=True,
+            )
+
+    def test_resume_past_max_iters_is_noop(self, workload, tmp_path):
+        path = str(tmp_path / "ck.npz")
+        cp_als(
+            workload, 2, backend=SplattAll(workload, 2), max_iters=4, tol=0,
+            checkpoint_path=path,
+        )
+        res = cp_als(
+            workload, 2, backend=SplattAll(workload, 2), max_iters=3, tol=0,
+            checkpoint_path=path, resume=True,
+        )
+        assert res.iterations == 0

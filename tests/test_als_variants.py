@@ -1,0 +1,103 @@
+"""Tests for CP-ALS variants: ridge damping, non-negative projection,
+observed-only fit."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SplattAll
+from repro.cpd import KruskalTensor, cp_als
+from repro.tensor import low_rank_tensor, random_tensor
+
+
+@pytest.fixture(scope="module")
+def counts3():
+    """Non-negative count-like data."""
+    from repro.tensor import CooTensor
+
+    t = random_tensor((10, 9, 8), nnz=450, seed=21)
+    return CooTensor(t.indices, np.abs(t.values), t.shape)
+
+
+@pytest.fixture(scope="module")
+def lowrank():
+    return low_rank_tensor((10, 9, 8), rank=3, nnz=650, noise=0.05, seed=3)
+
+
+class TestRidge:
+    def test_ridge_runs_and_converges(self, lowrank):
+        res = cp_als(
+            lowrank, 3, backend=SplattAll(lowrank, 3), max_iters=8, tol=0,
+            ridge=1e-3,
+        )
+        assert np.all(np.diff(res.fits) > -1e-6)
+
+    def test_large_ridge_shrinks_solution(self, lowrank):
+        free = cp_als(
+            lowrank, 3, backend=SplattAll(lowrank, 3), max_iters=5, tol=0
+        )
+        damped = cp_als(
+            lowrank, 3, backend=SplattAll(lowrank, 3), max_iters=5, tol=0,
+            ridge=100.0,
+        )
+        assert damped.model.norm() < free.model.norm()
+
+    def test_ridge_stabilizes_overparameterized(self):
+        """Rank far above the data's rank makes V nearly singular; ridge
+        keeps the iteration finite."""
+        t = low_rank_tensor((8, 7, 6), rank=1, nnz=300, noise=0.0, seed=4)
+        res = cp_als(
+            t, 8, backend=SplattAll(t, 8), max_iters=6, tol=0, ridge=1e-6
+        )
+        assert np.all(np.isfinite(res.model.weights))
+        for f in res.model.factors:
+            assert np.all(np.isfinite(f))
+
+
+class TestNonneg:
+    def test_factors_nonnegative(self, counts3):
+        res = cp_als(
+            counts3, 4, backend=SplattAll(counts3, 4), max_iters=6, tol=0,
+            nonneg=True,
+        )
+        for f in res.model.factors:
+            assert np.all(f >= 0)
+        assert np.all(res.model.weights >= 0)
+
+    def test_nonneg_fits_count_data(self, counts3):
+        res = cp_als(
+            counts3, 4, backend=SplattAll(counts3, 4), max_iters=12, tol=0,
+            nonneg=True,
+        )
+        assert res.fits[-1] > 0.0  # better than the zero model
+
+    def test_unconstrained_can_go_negative(self, lowrank):
+        res = cp_als(
+            lowrank, 3, backend=SplattAll(lowrank, 3), max_iters=5, tol=0
+        )
+        assert any(np.any(f < 0) for f in res.model.factors)
+
+
+class TestObservedFit:
+    def test_exact_model_scores_one(self):
+        t, factors = low_rank_tensor(
+            (8, 7, 6), rank=2, nnz=150, noise=0.0, seed=5, return_factors=True
+        )
+        kt = KruskalTensor(np.ones(2), factors)
+        assert np.isclose(kt.fit_observed(t), 1.0)
+        # The zero-penalizing fit is strictly lower on a sparse sample.
+        assert kt.fit(t) < kt.fit_observed(t)
+
+    def test_zero_model(self, lowrank):
+        kt = KruskalTensor(
+            np.zeros(2), [np.zeros((n, 2)) for n in lowrank.shape]
+        )
+        assert np.isclose(kt.fit_observed(lowrank), 0.0)
+
+    def test_empty_tensor(self):
+        from repro.tensor import CooTensor
+
+        t = CooTensor.from_arrays(
+            np.empty((2, 0), dtype=np.int64), np.empty(0), shape=(3, 3)
+        )
+        kt = KruskalTensor(np.ones(1), [np.ones((3, 1))] * 2)
+        assert kt.fit_observed(t) == 1.0

@@ -1,0 +1,144 @@
+"""Tests for the analysis layer: harness, reports, traffic validation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    compare_strategies,
+    format_table,
+    geomean_speedups,
+    geometric_mean,
+    measure_method,
+    model_vs_measured,
+    ranking_agreement,
+    relative_performance,
+    run_comparison,
+)
+from repro.analysis.traffic import ConfigTraffic
+from repro.parallel import INTEL_CLX_18
+from repro.tensor import CsfTensor, random_tensor
+
+
+@pytest.fixture(scope="module")
+def small_tensor():
+    return random_tensor((12, 10, 8, 6), nnz=400, seed=23)
+
+
+class TestMeasureMethod:
+    def test_measurement_fields(self, small_tensor):
+        m = measure_method(
+            "stef", small_tensor, 4, INTEL_CLX_18, num_threads=4,
+            tensor_name="toy",
+        )
+        assert m.method == "stef"
+        assert m.tensor_name == "toy"
+        assert len(m.levels) == small_tensor.ndim
+        assert m.traffic_total > 0
+        assert m.simulated_seconds > 0
+        assert m.wall_seconds > 0
+
+    def test_per_level_modes_cover_all(self, small_tensor):
+        m = measure_method("splatt-all", small_tensor, 4, INTEL_CLX_18, num_threads=2)
+        assert sorted(lc.mode for lc in m.levels) == list(range(4))
+
+    def test_backend_kwargs_forwarded(self, small_tensor):
+        from repro.core import MemoPlan
+
+        m = measure_method(
+            "stef", small_tensor, 4, INTEL_CLX_18, num_threads=2,
+            backend_kwargs={"plan": MemoPlan((1,))},
+        )
+        assert m.traffic_total > 0
+
+
+class TestRunComparison:
+    @pytest.fixture(scope="class")
+    def grid(self, small_tensor):
+        return run_comparison(
+            {"toy": small_tensor},
+            rank=4,
+            machine=INTEL_CLX_18,
+            methods=("stef", "splatt-1", "splatt-all"),
+            num_threads=4,
+        )
+
+    def test_grid_structure(self, grid):
+        assert set(grid) == {"toy"}
+        assert set(grid["toy"]) == {"stef", "splatt-1", "splatt-all"}
+
+    def test_relative_performance_baseline_is_one(self, grid):
+        rel = relative_performance(grid)
+        assert np.isclose(rel["toy"]["splatt-all"], 1.0)
+
+    def test_wall_channel(self, grid):
+        rel = relative_performance(grid, channel="wall")
+        assert all(v > 0 for v in rel["toy"].values())
+
+    def test_missing_baseline_raises(self, small_tensor):
+        with pytest.raises(ValueError, match="baseline"):
+            run_comparison(
+                {"toy": small_tensor}, 4, INTEL_CLX_18, methods=("stef",)
+            )
+
+
+class TestReportHelpers:
+    def test_geometric_mean(self):
+        assert np.isclose(geometric_mean([1, 4]), 2.0)
+        assert np.isnan(geometric_mean([]))
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_geomean_speedups(self):
+        rel = {
+            "a": {"stef": 2.0, "alto": 1.0},
+            "b": {"stef": 8.0, "alto": 2.0},
+        }
+        sp = geomean_speedups(rel, "stef", ["alto"])
+        assert np.isclose(sp["alto"], np.sqrt(2.0 * 4.0))
+
+    def test_format_table(self):
+        rows = {"x": {"m1": 1.0, "m2": 2.0}}
+        text = format_table(rows, ["m1", "m2"], title="T")
+        assert "T" in text and "x" in text and "2.000" in text
+
+    def test_format_table_missing_cell(self):
+        text = format_table({"x": {"m1": 1.0}}, ["m1", "m2"])
+        assert "-" in text
+
+
+class TestTrafficValidation:
+    def test_model_vs_measured_entries(self, small_tensor):
+        csf = CsfTensor.from_coo(small_tensor)
+        entries = model_vs_measured(csf, 4, INTEL_CLX_18, num_threads=2)
+        assert len(entries) == 4  # 2^(4-2) plans
+        for e in entries:
+            assert e.predicted > 0 and e.measured > 0
+
+    def test_ranking_agreement_strong(self, small_tensor):
+        """The model and the counted traffic must largely agree on which
+        plans are cheaper — the property the paper's selection relies on."""
+        csf = CsfTensor.from_coo(small_tensor)
+        entries = model_vs_measured(csf, 16, INTEL_CLX_18, num_threads=2)
+        assert ranking_agreement(entries) >= 0.3
+
+    def test_ranking_agreement_edge_cases(self):
+        assert ranking_agreement([]) == 1.0
+        e = [
+            ConfigTraffic((), 1.0, 1.0),
+            ConfigTraffic((1,), 2.0, 2.0),
+        ]
+        assert ranking_agreement(e) == 1.0
+        rev = [
+            ConfigTraffic((), 1.0, 2.0),
+            ConfigTraffic((1,), 2.0, 1.0),
+        ]
+        assert ranking_agreement(rev) == -1.0
+
+
+class TestCompareStrategies:
+    def test_summary(self, small_tensor):
+        csf = CsfTensor.from_coo(small_tensor)
+        cmp = compare_strategies(csf, 4)
+        rows = cmp.summary_rows()
+        assert set(rows) == {"nnz", "slice"}
+        assert rows["nnz"]["imbalance_pct"] <= rows["slice"]["imbalance_pct"] + 1e-9

@@ -1,0 +1,85 @@
+"""Tests for roofline machine-model calibration."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import (
+    CalibrationSample,
+    collect_samples,
+    fit_roofline,
+)
+from repro.parallel import INTEL_CLX_18
+from repro.tensor import random_tensor
+
+
+def synthetic_samples(bw_gbps, gflops, n=60, seed=0, noise=0.0):
+    """Samples generated from a known roofline machine."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        traffic = float(10 ** rng.uniform(3, 7))
+        flops = float(10 ** rng.uniform(3, 7))
+        load = float(rng.uniform(1.0, 2.0))
+        wall = max(traffic * 8 / (bw_gbps * 1e9), flops / (gflops * 1e9)) * load
+        if noise:
+            wall *= float(np.exp(rng.normal(0, noise)))
+        out.append(CalibrationSample(traffic, flops, load, wall))
+    return out
+
+
+class TestFitRoofline:
+    def test_recovers_known_machine_exactly(self):
+        fit = fit_roofline(synthetic_samples(50.0, 5.0))
+        assert fit.dram_gbps == pytest.approx(50.0, rel=0.05)
+        assert fit.gflops == pytest.approx(5.0, rel=0.05)
+        assert fit.median_rel_error < 0.02
+
+    def test_recovers_with_noise(self):
+        fit = fit_roofline(synthetic_samples(20.0, 2.0, n=120, noise=0.1))
+        assert fit.dram_gbps == pytest.approx(20.0, rel=0.3)
+        assert fit.gflops == pytest.approx(2.0, rel=0.3)
+
+    def test_predict_matches_model(self):
+        fit = fit_roofline(synthetic_samples(10.0, 1.0))
+        pred = fit.predict_seconds(1e6, 1e3, load=1.0)
+        assert pred == pytest.approx(1e6 * 8 / (fit.dram_gbps * 1e9), rel=1e-6)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            fit_roofline(synthetic_samples(1.0, 1.0, n=2))
+
+    def test_as_machine(self):
+        fit = fit_roofline(synthetic_samples(30.0, 3.0))
+        m = fit.as_machine(INTEL_CLX_18)
+        assert m.cache_bytes == INTEL_CLX_18.cache_bytes
+        assert m.dram_gbps == pytest.approx(fit.dram_gbps)
+        assert "calibrated" in m.name
+
+
+class TestCollectSamples:
+    def test_collects_from_real_kernels(self):
+        t = random_tensor((30, 25, 20), nnz=2000, seed=1)
+        samples = collect_samples(
+            [("toy", t)], 16, INTEL_CLX_18,
+            methods=("stef", "splatt-all"), num_threads=2,
+        )
+        assert len(samples) == 2 * t.ndim
+        for s in samples:
+            assert s.wall_seconds > 0
+            assert s.traffic_elements > 0
+
+    def test_end_to_end_calibration_is_finite(self):
+        tensors = [
+            ("a", random_tensor((40, 30, 20), nnz=4000, seed=2)),
+            ("b", random_tensor((25, 25, 25, 10), nnz=3000, seed=3)),
+        ]
+        samples = collect_samples(
+            tensors, 16, INTEL_CLX_18, methods=("stef", "alto"),
+            num_threads=2, repeats=2,
+        )
+        fit = fit_roofline(samples)
+        assert np.isfinite(fit.dram_gbps) and fit.dram_gbps > 0
+        assert np.isfinite(fit.gflops) and fit.gflops > 0
+        # The Python kernels should be explained within an order of
+        # magnitude at the median (they are interpreter-noisy).
+        assert fit.median_rel_error < 10.0

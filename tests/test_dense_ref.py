@@ -1,0 +1,108 @@
+"""Tests for the dense reference oracle itself (two independent oracles
+cross-check each other)."""
+
+import numpy as np
+import pytest
+
+from repro.ops import (
+    cp_fit,
+    cp_reconstruct,
+    mttkrp_coo_reference,
+    mttkrp_dense,
+    partial_mttkrp_dense,
+    unfold,
+)
+from tests.conftest import make_factors
+
+
+class TestUnfold:
+    def test_shape(self):
+        t = np.arange(24.0).reshape(2, 3, 4)
+        assert unfold(t, 0).shape == (2, 12)
+        assert unfold(t, 1).shape == (3, 8)
+        assert unfold(t, 2).shape == (4, 6)
+
+    def test_content_mode0(self):
+        t = np.arange(24.0).reshape(2, 3, 4)
+        assert np.array_equal(unfold(t, 0), t.reshape(2, 12))
+
+    def test_frobenius_preserved(self):
+        rng = np.random.default_rng(0)
+        t = rng.standard_normal((3, 4, 5))
+        for m in range(3):
+            assert np.isclose(np.linalg.norm(unfold(t, m)), np.linalg.norm(t))
+
+
+class TestTwoOracles:
+    """The dense einsum path and the COO scatter path are structurally
+    different; they must agree on every mode and dimensionality."""
+
+    def test_agree_3d(self, coo3):
+        fac = make_factors(coo3.shape, 3, seed=0)
+        d = coo3.to_dense()
+        for u in range(3):
+            assert np.allclose(
+                mttkrp_dense(d, fac, u), mttkrp_coo_reference(coo3, fac, u)
+            )
+
+    def test_agree_4d(self, coo4):
+        fac = make_factors(coo4.shape, 4, seed=1)
+        d = coo4.to_dense()
+        for u in range(4):
+            assert np.allclose(
+                mttkrp_dense(d, fac, u), mttkrp_coo_reference(coo4, fac, u)
+            )
+
+    def test_agree_5d(self, coo5):
+        fac = make_factors(coo5.shape, 2, seed=2)
+        d = coo5.to_dense()
+        for u in range(5):
+            assert np.allclose(
+                mttkrp_dense(d, fac, u), mttkrp_coo_reference(coo5, fac, u)
+            )
+
+
+class TestPartialDense:
+    def test_full_chain_shapes(self, coo4):
+        fac = make_factors(coo4.shape, 3, seed=3)
+        d = coo4.to_dense()
+        for upto in range(3):
+            p = partial_mttkrp_dense(d, fac, upto)
+            assert p.shape == d.shape[: upto + 1] + (3,)
+
+    def test_bad_upto_raises(self, coo3):
+        fac = make_factors(coo3.shape, 2, seed=4)
+        with pytest.raises(ValueError):
+            partial_mttkrp_dense(coo3.to_dense(), fac, 2)
+
+    def test_p0_is_mode0_mttkrp(self, coo4):
+        fac = make_factors(coo4.shape, 3, seed=5)
+        d = coo4.to_dense()
+        assert np.allclose(
+            partial_mttkrp_dense(d, fac, 0), mttkrp_dense(d, fac, 0)
+        )
+
+
+class TestReconstruct:
+    def test_rank1(self):
+        a = np.array([[2.0], [3.0]])
+        b = np.array([[5.0], [7.0]])
+        recon = cp_reconstruct([a, b])
+        assert np.allclose(recon, np.outer(a[:, 0], b[:, 0]))
+
+    def test_weights_scale(self):
+        rng = np.random.default_rng(6)
+        factors = [rng.standard_normal((3, 2)) for _ in range(3)]
+        base = cp_reconstruct(factors, np.ones(2))
+        doubled = cp_reconstruct(factors, 2 * np.ones(2))
+        assert np.allclose(doubled, 2 * base)
+
+    def test_fit_perfect(self):
+        rng = np.random.default_rng(7)
+        factors = [rng.standard_normal((4, 2)) for _ in range(3)]
+        dense = cp_reconstruct(factors)
+        assert np.isclose(cp_fit(dense, factors), 1.0)
+
+    def test_fit_zero_tensor(self):
+        factors = [np.zeros((3, 1)) for _ in range(2)]
+        assert cp_fit(np.zeros((3, 3)), factors) == 1.0

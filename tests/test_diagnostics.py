@@ -1,0 +1,128 @@
+"""Tests for decomposition diagnostics (FMS, CORCONDIA)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SplattAll
+from repro.cpd import KruskalTensor, cp_als
+from repro.cpd.diagnostics import congruence_matrix, corcondia, factor_match_score
+from repro.tensor import CooTensor, low_rank_tensor
+
+
+def planted_model(shape, rank, seed=0):
+    rng = np.random.default_rng(seed)
+    return KruskalTensor(
+        rng.random(rank) + 0.5,
+        [rng.standard_normal((n, rank)) for n in shape],
+    )
+
+
+class TestFactorMatchScore:
+    def test_identical_models_score_one(self):
+        kt = planted_model((8, 7, 6), 3)
+        assert factor_match_score(kt, kt) == pytest.approx(1.0)
+
+    def test_permuted_columns_score_one(self):
+        kt = planted_model((8, 7, 6), 3, seed=1)
+        perm = [2, 0, 1]
+        other = KruskalTensor(
+            kt.weights[perm], [f[:, perm] for f in kt.factors]
+        )
+        assert factor_match_score(kt, other) == pytest.approx(1.0)
+
+    def test_sign_flips_score_one(self):
+        kt = planted_model((8, 7, 6), 2, seed=2)
+        flipped = KruskalTensor(
+            kt.weights.copy(), [-f for f in kt.factors]
+        )
+        # Odd number of modes: the triple sign product is |.|-absorbed.
+        assert factor_match_score(kt, flipped) == pytest.approx(1.0)
+
+    def test_unrelated_models_score_low(self):
+        a = planted_model((30, 30, 30), 3, seed=3)
+        b = planted_model((30, 30, 30), 3, seed=4)
+        assert factor_match_score(a, b) < 0.5
+
+    def test_returns_permutation(self):
+        kt = planted_model((8, 7, 6), 3, seed=5)
+        perm = [1, 2, 0]
+        other = KruskalTensor(kt.weights[perm], [f[:, perm] for f in kt.factors])
+        score, (rows, cols) = factor_match_score(
+            kt, other, return_permutation=True
+        )
+        assert score == pytest.approx(1.0)
+        # Column r of kt matches column perm.index(r)... verify mapping.
+        for r, c in zip(rows, cols):
+            assert perm[c] == r
+
+    def test_mode_mismatch_raises(self):
+        a = planted_model((4, 4), 2)
+        b = planted_model((4, 4, 4), 2)
+        with pytest.raises(ValueError):
+            factor_match_score(a, b)
+
+    def test_als_recovers_planted_components(self):
+        """End-to-end: ALS on a dense-ish noiseless rank-3 sample must
+        recover the planted components up to permutation/scaling."""
+        t, factors = low_rank_tensor(
+            (12, 11, 10), rank=3, nnz=3500, noise=0.0, seed=7,
+            return_factors=True,
+        )
+        planted = KruskalTensor(np.ones(3), factors)
+        res = cp_als(t, 3, backend=SplattAll(t, 3), max_iters=60, tol=1e-9)
+        assert factor_match_score(planted, res.model) > 0.85
+
+
+class TestCongruence:
+    def test_matrix_shape(self):
+        a = planted_model((5, 4), 2)
+        b = planted_model((5, 4), 3)
+        assert congruence_matrix(a, b).shape == (2, 3)
+
+    def test_bounded(self):
+        a = planted_model((6, 5, 4), 3, seed=8)
+        b = planted_model((6, 5, 4), 3, seed=9)
+        c = congruence_matrix(a, b)
+        assert np.all(c >= -1e-12) and np.all(c <= 1 + 1e-12)
+
+
+class TestCorcondia:
+    def test_perfect_cp_structure(self):
+        kt = planted_model((7, 6, 5), 2, seed=10)
+        tensor = CooTensor.from_dense(kt.to_dense())
+        assert corcondia(tensor, kt) == pytest.approx(100.0, abs=1e-6)
+
+    def test_overfactored_model_scores_lower(self):
+        """Fitting rank 5 to rank-2 data: core consistency degrades.
+        (HOSVD init avoids the degenerate local solution random init can
+        hit on this instance — a phenomenon CORCONDIA itself flags.)"""
+        true = planted_model((10, 9, 8), 2, seed=11)
+        tensor = CooTensor.from_dense(true.to_dense())
+        good = cp_als(
+            tensor, 2, backend=SplattAll(tensor, 2), max_iters=40, init="hosvd"
+        )
+        over = cp_als(
+            tensor, 5, backend=SplattAll(tensor, 5), max_iters=40, init="hosvd"
+        )
+        cc_good = corcondia(tensor, good.model)
+        cc_over = corcondia(tensor, over.model)
+        assert cc_good > 95
+        assert cc_over < cc_good
+
+    def test_detects_degenerate_solution(self):
+        """Random init on this instance converges to a two-factor
+        degeneracy (fit ~0.59, huge cancelling weights); CORCONDIA must
+        flag it with a strongly negative score."""
+        true = planted_model((10, 9, 8), 2, seed=11)
+        tensor = CooTensor.from_dense(true.to_dense())
+        bad = cp_als(
+            tensor, 2, backend=SplattAll(tensor, 2), max_iters=30,
+            init="random", seed=2,
+        )
+        if bad.final_fit < 0.9:  # the degenerate basin
+            assert corcondia(tensor, bad.model) < 0
+
+    def test_zero_weights(self):
+        kt = KruskalTensor(np.zeros(2), [np.ones((3, 2))] * 3)
+        tensor = CooTensor.from_dense(np.ones((3, 3, 3)))
+        assert corcondia(tensor, kt) == 0.0

@@ -1,0 +1,106 @@
+"""Tests for the dimension-tree (BDT/HyperTensor-policy) backend."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DimTreeBackend, SplattAll, build_mode_tree
+from repro.cpd import cp_als
+from repro.ops import mttkrp_dense
+from repro.parallel import TrafficCounter
+from repro.tensor import random_tensor
+from tests.conftest import make_factors
+
+
+class TestTreeConstruction:
+    @pytest.mark.parametrize("ndim,expected_nodes", [(2, 3), (3, 5), (4, 7), (5, 9)])
+    def test_node_counts(self, ndim, expected_nodes):
+        tree = build_mode_tree(ndim)
+        assert len(tree) == expected_nodes  # 2*d - 1 nodes of a binary tree
+
+    def test_leaves_are_single_modes(self):
+        tree = build_mode_tree(4)
+        leaves = [n for n, c in tree.items() if not c]
+        assert sorted(leaves) == [(0,), (1,), (2,), (3,)]
+
+    def test_children_partition_parent(self):
+        tree = build_mode_tree(5)
+        for node, children in tree.items():
+            if children:
+                merged = tuple(sorted(children[0] + children[1]))
+                assert merged == node
+
+    def test_invalid_ndim(self):
+        with pytest.raises(ValueError):
+            build_mode_tree(0)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("shape,nnz", [((9, 7, 6), 150), ((8, 7, 6, 5), 200)])
+    def test_matches_oracle(self, shape, nnz):
+        t = random_tensor(shape, nnz, seed=3)
+        dense = t.to_dense()
+        fac = make_factors(shape, 3, seed=4)
+        b = DimTreeBackend(t, 3, num_threads=2)
+        for lvl in range(t.ndim):
+            assert np.allclose(
+                b.mttkrp_level(fac, lvl), mttkrp_dense(dense, fac, lvl)
+            )
+
+    def test_als_matches_splatt_all(self, coo4):
+        """Identical update order -> identical trajectory; the cached
+        nodes must invalidate correctly as factors change."""
+        r1 = cp_als(coo4, 3, backend=DimTreeBackend(coo4, 3), max_iters=5,
+                    tol=0, seed=7)
+        r2 = cp_als(coo4, 3, backend=SplattAll(coo4, 3), max_iters=5,
+                    tol=0, seed=7)
+        assert np.allclose(r1.fits, r2.fits, atol=1e-8)
+
+    def test_stale_cache_detected(self, coo4):
+        """Changing a factor object must force recomputation of every
+        node that consumed it."""
+        fac = make_factors(coo4.shape, 3, seed=9)
+        dense = coo4.to_dense()
+        b = DimTreeBackend(coo4, 3)
+        b.mttkrp_level(fac, 0)  # caches (0,1) (contracted with A2, A3)
+        fac[3] = make_factors(coo4.shape, 3, seed=10)[3]
+        res = b.mttkrp_level(fac, 0)
+        assert np.allclose(res, mttkrp_dense(dense, fac, 0))
+
+    def test_cache_reused_across_sibling_modes(self, coo4):
+        """Modes 0 and 1 share node (0,1): computing mode 1 right after
+        mode 0 with unchanged factors must not rebuild it."""
+        fac = make_factors(coo4.shape, 3, seed=11)
+        c = TrafficCounter()
+        b = DimTreeBackend(coo4, 3, counter=c)
+        b.mttkrp_level(fac, 0)
+        writes_after_mode0 = c.by_category.get("w:memo", 0.0)
+        b.mttkrp_level(fac, 1)
+        assert c.by_category.get("w:memo", 0.0) == writes_after_mode0
+
+
+class TestAccounting:
+    def test_memo_bytes_grow_then_stabilize(self, coo4):
+        fac = make_factors(coo4.shape, 3, seed=12)
+        b = DimTreeBackend(coo4, 3)
+        assert b.memo_bytes() == 0
+        b.mttkrp_level(fac, 0)
+        first = b.memo_bytes()
+        assert first > 0
+        b.mttkrp_level(fac, 1)
+        assert b.memo_bytes() == first  # reuse, no new nodes
+
+    def test_traffic_charged(self, coo4):
+        fac = make_factors(coo4.shape, 3, seed=13)
+        c = TrafficCounter()
+        b = DimTreeBackend(coo4, 3, num_threads=2, counter=c)
+        for lvl in range(coo4.ndim):
+            b.mttkrp_level(fac, lvl)
+        assert c.reads > 0 and c.writes > 0 and c.flops > 0
+
+    def test_level_load_factor(self, coo4):
+        b = DimTreeBackend(coo4, 3, num_threads=4)
+        assert b.level_load_factor(0) == 1.0
+
+    def test_describe(self, coo4):
+        b = DimTreeBackend(coo4, 3)
+        assert "dimtree" in b.describe()

@@ -1,0 +1,75 @@
+"""Degenerate input: the all-zero (empty) sparse tensor through every
+layer — nothing should crash, everything should return zeros."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ALL_BACKENDS
+from repro.core import MemoPlan, MemoizedMttkrp, Stef, plan_decomposition
+from repro.parallel import nnz_partition, slice_partition
+from repro.tensor import CooTensor, CsfTensor
+from tests.conftest import make_factors
+
+
+@pytest.fixture
+def empty4():
+    return CooTensor.from_arrays(
+        np.empty((4, 0), dtype=np.int64), np.empty(0), shape=(6, 5, 4, 3)
+    )
+
+
+class TestEmptyThroughStack:
+    def test_csf(self, empty4):
+        csf = CsfTensor.from_coo(empty4)
+        assert csf.nnz == 0
+        assert csf.fiber_counts == (0, 0, 0, 0)
+
+    def test_partitions(self, empty4):
+        csf = CsfTensor.from_coo(empty4)
+        for part in (nnz_partition(csf, 4), slice_partition(csf, 4)):
+            assert part.per_thread_leaf_counts().sum() == 0
+
+    def test_engine_returns_zeros(self, empty4):
+        csf = CsfTensor.from_coo(empty4)
+        fac = make_factors(empty4.shape, 3, seed=0)
+        engine = MemoizedMttkrp(csf, 3, plan=MemoPlan((1,)), num_threads=3)
+        for mode, res in engine.iteration_results(fac):
+            assert np.allclose(res, 0.0)
+            assert res.shape == (empty4.shape[mode], 3)
+
+    def test_planner(self, empty4):
+        csf = CsfTensor.from_coo(empty4)
+        decision = plan_decomposition(csf, 8)
+        assert decision.best is not None
+
+    def test_stef_facade(self, empty4):
+        fac = make_factors(empty4.shape, 2, seed=1)
+        s = Stef(empty4, 2, num_threads=2)
+        for mode, res in s.iteration_results(fac):
+            assert np.allclose(res, 0.0)
+
+    @pytest.mark.parametrize(
+        "name", [n for n in sorted(ALL_BACKENDS) if n != "taco"]
+    )
+    def test_backends_handle_empty(self, empty4, name):
+        fac = make_factors(empty4.shape, 2, seed=2)
+        b = ALL_BACKENDS[name](empty4, 2, num_threads=2)
+        for lvl in range(empty4.ndim):
+            res = b.mttkrp_level(fac, lvl)
+            assert np.allclose(res, 0.0)
+
+    def test_taco_without_autotune(self, empty4):
+        # The autotuner probes a kernel; with zero slices its timing loop
+        # still works, but construct without it for determinism.
+        from repro.baselines import TacoBackend
+
+        fac = make_factors(empty4.shape, 2, seed=3)
+        b = TacoBackend(empty4, 2, num_threads=2, autotune=False)
+        for lvl in range(empty4.ndim):
+            assert np.allclose(b.mttkrp_level(fac, lvl), 0.0)
+
+    def test_als_on_empty(self, empty4):
+        from repro.cpd import cp_als
+
+        res = cp_als(empty4, 2, backend=Stef(empty4, 2), max_iters=2, tol=0)
+        assert res.fits == [1.0, 1.0]  # zero tensor: fit defined as 1

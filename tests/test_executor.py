@@ -1,0 +1,94 @@
+"""Unit tests for the simulated pool and boundary-replicated buffers."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import ReplicatedArray, SimulatedPool
+
+
+class TestSimulatedPool:
+    def test_serial_order(self):
+        pool = SimulatedPool(4, "serial")
+        assert pool.map(lambda th: th * 2) == [0, 2, 4, 6]
+
+    def test_threads_backend(self):
+        pool = SimulatedPool(4, "threads")
+        assert pool.map(lambda th: th * th) == [0, 1, 4, 9]
+
+    def test_invalid_backend_raises(self):
+        with pytest.raises(ValueError):
+            SimulatedPool(2, "mpi")
+
+    def test_invalid_threads_raise(self):
+        with pytest.raises(ValueError):
+            SimulatedPool(0)
+
+
+class TestReplicatedArray:
+    def test_buffer_shape_is_n_plus_t(self):
+        rep = ReplicatedArray(10, 4, 3)
+        assert rep.buffer.shape == (13, 4)
+        assert rep.nbytes == 13 * 4 * 8
+
+    def test_disjoint_writes_merge_exactly(self):
+        rep = ReplicatedArray(6, 2, 2)
+        rep.view(0, 0, 3)[:] = 1.0
+        rep.view(1, 3, 6)[:] = 2.0
+        merged = rep.merge()
+        assert np.allclose(merged[:3], 1.0)
+        assert np.allclose(merged[3:], 2.0)
+
+    def test_shared_boundary_row_sums(self):
+        # Both threads contribute to row 3 (the boundary node).
+        rep = ReplicatedArray(6, 2, 2)
+        rep.view(0, 0, 4)[:] += 1.0  # rows 0..3 from thread 0
+        rep.view(1, 3, 6)[:] += 2.0  # rows 3..5 from thread 1
+        merged = rep.merge()
+        assert np.allclose(merged[3], 3.0)  # 1 + 2
+        assert np.allclose(merged[:3], 1.0)
+        assert np.allclose(merged[4:], 2.0)
+
+    def test_shifted_slots_never_collide(self):
+        # Thread th writes nodes [a_th, b_th] with b_th == a_{th+1}; the
+        # underlying buffer slots must all be distinct.
+        n, t = 20, 5
+        rep = ReplicatedArray(n, 1, t)
+        bounds = [0, 4, 9, 13, 17, n]
+        slots = set()
+        for th in range(t):
+            lo, hi = bounds[th], min(bounds[th + 1] + 1, n)
+            for node in range(lo, hi):
+                slot = node + th
+                assert slot not in slots or node == bounds[th]  # boundary only
+            rep.view(th, lo, hi)[:] += 1.0
+        merged = rep.merge()
+        # Interior rows touched once, boundary rows twice.
+        expected = np.ones(n)
+        for b in bounds[1:-1]:
+            expected[b] = 2.0
+        assert np.allclose(merged[:, 0], expected)
+
+    def test_merge_into_accumulates(self):
+        rep = ReplicatedArray(4, 2, 1)
+        rep.view(0, 0, 4)[:] = 1.0
+        target = np.full((4, 2), 10.0)
+        rep.merge_into(target)
+        assert np.allclose(target, 11.0)
+
+    def test_merge_into_shape_check(self):
+        rep = ReplicatedArray(4, 2, 1)
+        with pytest.raises(ValueError):
+            rep.merge_into(np.zeros((3, 2)))
+
+    def test_view_bounds_checked(self):
+        rep = ReplicatedArray(4, 2, 2)
+        with pytest.raises(ValueError):
+            rep.view(0, 0, 5)
+        with pytest.raises(ValueError):
+            rep.view(2, 0, 1)
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            ReplicatedArray(-1, 2, 1)
+        with pytest.raises(ValueError):
+            ReplicatedArray(4, 0, 1)

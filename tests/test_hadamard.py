@@ -1,0 +1,88 @@
+"""Unit tests for dense factor-matrix algebra (Gram chains, solves)."""
+
+import numpy as np
+import pytest
+
+from repro.ops import (
+    cp_gram_norm_sq,
+    gram,
+    gram_hadamard_chain,
+    normalize_columns,
+    solve_factor,
+)
+from repro.ops.dense_ref import cp_reconstruct
+
+
+class TestGram:
+    def test_gram(self):
+        a = np.array([[1.0, 0.0], [1.0, 2.0]])
+        assert np.allclose(gram(a), a.T @ a)
+
+    def test_chain_excludes(self):
+        rng = np.random.default_rng(0)
+        mats = [rng.standard_normal((n, 3)) for n in (4, 5, 6)]
+        v = gram_hadamard_chain(mats, exclude=1)
+        assert np.allclose(v, gram(mats[0]) * gram(mats[2]))
+
+    def test_chain_all(self):
+        rng = np.random.default_rng(1)
+        mats = [rng.standard_normal((n, 2)) for n in (3, 4)]
+        v = gram_hadamard_chain(mats, exclude=None)
+        assert np.allclose(v, gram(mats[0]) * gram(mats[1]))
+
+    def test_chain_empty_raises(self):
+        with pytest.raises(ValueError):
+            gram_hadamard_chain([np.ones((2, 2))], exclude=0)
+
+
+class TestSolve:
+    def test_solve_well_conditioned(self):
+        rng = np.random.default_rng(2)
+        v = rng.standard_normal((3, 3)) + 4 * np.eye(3)
+        x = rng.standard_normal((5, 3))
+        m = x @ v
+        assert np.allclose(solve_factor(m, v), x)
+
+    def test_solve_singular_falls_back_to_pinv(self):
+        v = np.zeros((3, 3))
+        v[0, 0] = 1.0
+        m = np.ones((2, 3))
+        out = solve_factor(m, v)  # must not raise
+        assert out.shape == (2, 3)
+        assert np.all(np.isfinite(out))
+
+
+class TestNormalize:
+    def test_unit_norms(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((6, 4)) * 10
+        normed, lam = normalize_columns(a)
+        assert np.allclose(np.linalg.norm(normed, axis=0), 1.0)
+        assert np.allclose(normed * lam, a)
+
+    def test_zero_column_safe(self):
+        a = np.zeros((4, 2))
+        a[:, 1] = 3.0
+        normed, lam = normalize_columns(a)
+        assert lam[0] == 0.0
+        assert np.isclose(lam[1], 6.0)
+        assert np.all(np.isfinite(normed))
+
+
+class TestCpNorm:
+    def test_matches_dense_reconstruction(self):
+        rng = np.random.default_rng(4)
+        factors = [rng.standard_normal((n, 3)) for n in (4, 5, 3)]
+        weights = rng.random(3) + 0.5
+        dense = cp_reconstruct(factors, weights)
+        assert np.isclose(
+            cp_gram_norm_sq(factors, weights), np.sum(dense**2), rtol=1e-10
+        )
+
+    def test_default_weights_are_ones(self):
+        rng = np.random.default_rng(5)
+        factors = [rng.standard_normal((n, 2)) for n in (3, 4)]
+        assert np.isclose(
+            cp_gram_norm_sq(factors),
+            cp_gram_norm_sq(factors, np.ones(2)),
+        )

@@ -1,0 +1,90 @@
+"""Unit tests for Khatri-Rao products."""
+
+import numpy as np
+import pytest
+
+from repro.ops import khatri_rao, khatri_rao_chain, khatri_rao_excluding, krp_rows
+
+
+class TestKhatriRao:
+    def test_definition(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([[5.0, 6.0], [7.0, 8.0], [9.0, 10.0]])
+        m = khatri_rao(a, b)
+        assert m.shape == (6, 2)
+        # M[i*J + j, r] = A[i, r] * B[j, r]
+        for i in range(2):
+            for j in range(3):
+                assert np.allclose(m[i * 3 + j], a[i] * b[j])
+
+    def test_column_mismatch_raises(self):
+        with pytest.raises(ValueError, match="column"):
+            khatri_rao(np.ones((2, 3)), np.ones((2, 4)))
+
+    def test_non_matrix_raises(self):
+        with pytest.raises(ValueError):
+            khatri_rao(np.ones(3), np.ones((3, 1)))
+
+    def test_matches_kron_per_column(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal((4, 3)), rng.standard_normal((5, 3))
+        m = khatri_rao(a, b)
+        for r in range(3):
+            assert np.allclose(m[:, r], np.kron(a[:, r], b[:, r]))
+
+
+class TestChain:
+    def test_single_matrix_is_identity_op(self):
+        a = np.ones((3, 2))
+        assert np.array_equal(khatri_rao_chain([a]), a)
+
+    def test_chain_associativity(self):
+        rng = np.random.default_rng(1)
+        mats = [rng.standard_normal((n, 2)) for n in (2, 3, 4)]
+        left = khatri_rao(khatri_rao(mats[0], mats[1]), mats[2])
+        assert np.allclose(khatri_rao_chain(mats), left)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            khatri_rao_chain([])
+
+    def test_shape(self):
+        mats = [np.ones((2, 5)), np.ones((3, 5)), np.ones((4, 5))]
+        assert khatri_rao_chain(mats).shape == (24, 5)
+
+
+class TestExcluding:
+    def test_excludes_correct_matrix(self):
+        rng = np.random.default_rng(2)
+        mats = [rng.standard_normal((n, 2)) for n in (2, 3, 4)]
+        m = khatri_rao_excluding(mats, 1)
+        assert np.allclose(m, khatri_rao(mats[0], mats[2]))
+
+    def test_exclude_only_raises(self):
+        with pytest.raises(ValueError):
+            khatri_rao_excluding([np.ones((2, 2))], 0)
+
+
+class TestKrpRows:
+    def test_matches_full_krp(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.standard_normal((4, 3)), rng.standard_normal((5, 3))
+        full = khatri_rao(a, b)
+        ia = np.array([0, 2, 3])
+        ib = np.array([1, 4, 0])
+        rows = krp_rows([a, b], [ia, ib])
+        for p in range(3):
+            assert np.allclose(rows[p], full[ia[p] * 5 + ib[p]])
+
+    def test_single_matrix(self):
+        a = np.arange(6.0).reshape(3, 2)
+        rows = krp_rows([a], [np.array([2, 0])])
+        assert np.allclose(rows, a[[2, 0]])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError, match="one row-index"):
+            krp_rows([np.ones((2, 2))], [])
+
+    def test_empty_matrices_raise(self):
+        with pytest.raises(ValueError, match="at least one"):
+            krp_rows([], [])

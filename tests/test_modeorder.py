@@ -1,0 +1,88 @@
+"""Unit tests for mode-order utilities (Algorithm 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    average_leaf_fiber_length,
+    count_swapped_fibers,
+    count_swapped_fibers_threaded,
+)
+from repro.tensor import CooTensor, CsfTensor, random_tensor
+
+
+class TestCountSwappedFibers:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_rebuilt_csf_4d(self, seed):
+        t = random_tensor((8, 7, 6, 5), nnz=150, seed=seed)
+        csf = CsfTensor.from_coo(t, (0, 1, 2, 3))
+        predicted = count_swapped_fibers(csf)
+        actual = csf.swapped_last_two().fiber_counts[-2]
+        assert predicted == actual
+
+    def test_matches_rebuilt_csf_3d(self, coo3):
+        csf = CsfTensor.from_coo(coo3, (0, 1, 2))
+        assert (
+            count_swapped_fibers(csf)
+            == csf.swapped_last_two().fiber_counts[-2]
+        )
+
+    def test_matches_rebuilt_csf_5d(self, coo5):
+        csf = CsfTensor.from_coo(coo5)
+        assert (
+            count_swapped_fibers(csf)
+            == csf.swapped_last_two().fiber_counts[-2]
+        )
+
+    def test_2d_raises(self):
+        t = random_tensor((5, 5), nnz=10, seed=0)
+        csf = CsfTensor.from_coo(t, (0, 1))
+        with pytest.raises(ValueError):
+            count_swapped_fibers(csf)
+
+    def test_empty_tensor(self):
+        t = CooTensor.from_arrays(
+            np.empty((3, 0), dtype=np.int64), np.empty(0), shape=(4, 4, 4)
+        )
+        csf = CsfTensor.from_coo(t)
+        assert count_swapped_fibers(csf) == 0
+
+
+class TestThreadedVariant:
+    @pytest.mark.parametrize("threads", [1, 2, 4, 9])
+    def test_total_matches_serial(self, coo4, threads):
+        csf = CsfTensor.from_coo(coo4, (0, 1, 2, 3))
+        total, per_thread = count_swapped_fibers_threaded(csf, threads)
+        assert total == count_swapped_fibers(csf)
+        assert sum(per_thread) == total
+        assert len(per_thread) == threads
+
+    def test_no_double_counting_across_threads(self, coo4):
+        """Threads split at root slices, so per-thread counts must sum
+        exactly (a pair belongs to exactly one root slice)."""
+        csf = CsfTensor.from_coo(coo4, (0, 1, 2, 3))
+        t1, _ = count_swapped_fibers_threaded(csf, 1)
+        t8, _ = count_swapped_fibers_threaded(csf, 8)
+        assert t1 == t8
+
+    def test_invalid_threads(self, csf4):
+        with pytest.raises(ValueError):
+            count_swapped_fibers_threaded(csf4, 0)
+
+
+class TestAverageFiberLength:
+    def test_definition(self, csf4):
+        m = csf4.fiber_counts
+        assert average_leaf_fiber_length(csf4) == csf4.nnz / m[-2]
+
+    def test_swap_decision_quantity(self, coo4):
+        """Whichever layout has the longer average leaf fibers has fewer
+        level d-2 fibers — the compression the swap decision chases."""
+        base = CsfTensor.from_coo(coo4, (0, 1, 2, 3))
+        swapped = base.swapped_last_two()
+        fl_base = average_leaf_fiber_length(base)
+        fl_swap = average_leaf_fiber_length(swapped)
+        if fl_base > fl_swap:
+            assert base.fiber_counts[-2] < swapped.fiber_counts[-2]
+        elif fl_swap > fl_base:
+            assert swapped.fiber_counts[-2] < base.fiber_counts[-2]

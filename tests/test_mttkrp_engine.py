@@ -1,0 +1,156 @@
+"""Tests for the memoized MTTKRP engine (Algorithms 4-8) against the
+dense oracle, across plans, thread counts, partitions and backends."""
+
+import numpy as np
+import pytest
+
+from repro.core import MemoPlan, MemoizedMttkrp, SAVE_NONE, enumerate_plans
+from repro.ops import mttkrp_dense
+from repro.parallel import TrafficCounter
+from repro.tensor import CsfTensor
+from tests.conftest import make_factors
+
+
+@pytest.fixture
+def setup4(coo4):
+    csf = CsfTensor.from_coo(coo4, (0, 1, 2, 3))
+    factors = make_factors(coo4.shape, 4, seed=42)
+    dense = coo4.to_dense()
+    return csf, factors, dense
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("plan_levels", [(), (1,), (2,), (1, 2)])
+    @pytest.mark.parametrize("threads", [1, 3, 6])
+    def test_all_modes_all_plans(self, setup4, plan_levels, threads):
+        csf, factors, dense = setup4
+        engine = MemoizedMttkrp(
+            csf, 4, plan=MemoPlan(plan_levels), num_threads=threads
+        )
+        for mode, result in engine.iteration_results(factors):
+            assert np.allclose(result, mttkrp_dense(dense, factors, mode)), mode
+
+    @pytest.mark.parametrize("partition", ["nnz", "slice"])
+    def test_partition_strategies_agree(self, setup4, partition):
+        csf, factors, dense = setup4
+        engine = MemoizedMttkrp(
+            csf, 4, plan=MemoPlan((1,)), num_threads=4, partition=partition
+        )
+        for mode, result in engine.iteration_results(factors):
+            assert np.allclose(result, mttkrp_dense(dense, factors, mode))
+
+    def test_threads_backend_matches_serial(self, setup4):
+        csf, factors, dense = setup4
+        serial = MemoizedMttkrp(csf, 4, plan=MemoPlan((1, 2)), num_threads=4)
+        threaded = MemoizedMttkrp(
+            csf, 4, plan=MemoPlan((1, 2)), num_threads=4, backend="threads"
+        )
+        rs = serial.iteration_results(factors)
+        rt = threaded.iteration_results(factors)
+        for (m1, a), (m2, b) in zip(rs, rt):
+            assert m1 == m2
+            assert np.allclose(a, b)
+
+    def test_permuted_csf_order(self, coo4):
+        factors = make_factors(coo4.shape, 3, seed=1)
+        dense = coo4.to_dense()
+        csf = CsfTensor.from_coo(coo4, (2, 0, 3, 1))
+        engine = MemoizedMttkrp(csf, 3, plan=MemoPlan((2,)), num_threads=2)
+        for mode, result in engine.iteration_results(factors):
+            assert np.allclose(result, mttkrp_dense(dense, factors, mode))
+
+    def test_3d_and_5d(self, coo3, coo5):
+        for coo, rank in ((coo3, 3), (coo5, 2)):
+            dense = coo.to_dense()
+            factors = make_factors(coo.shape, rank, seed=2)
+            for plan in enumerate_plans(coo.ndim):
+                engine = MemoizedMttkrp(
+                    CsfTensor.from_coo(coo), rank, plan=plan, num_threads=3
+                )
+                for mode, result in engine.iteration_results(factors):
+                    assert np.allclose(
+                        result, mttkrp_dense(dense, factors, mode)
+                    ), (coo.ndim, plan, mode)
+
+
+class TestMemoSemantics:
+    def test_memo_populated_per_plan(self, setup4):
+        csf, factors, _ = setup4
+        engine = MemoizedMttkrp(csf, 4, plan=MemoPlan((1,)), num_threads=2)
+        engine.mode0(factors)
+        assert set(engine.memo) == {1}
+        assert engine.memo[1].shape == (csf.fiber_counts[1], 4)
+
+    def test_memo_refreshed_on_mode0(self, setup4):
+        csf, factors, dense = setup4
+        engine = MemoizedMttkrp(csf, 4, plan=MemoPlan((1,)), num_threads=2)
+        engine.mode0(factors)
+        first = engine.memo[1].copy()
+        factors2 = make_factors(csf.shape, 4, seed=99)
+        engine.mode0(factors2)
+        assert not np.allclose(engine.memo[1], first)
+        res = engine.mode_level(factors2, 1)
+        assert np.allclose(res, mttkrp_dense(dense, factors2, csf.mode_order[1]))
+
+    def test_missing_memo_raises(self, setup4):
+        csf, factors, _ = setup4
+        engine = MemoizedMttkrp(csf, 4, plan=MemoPlan((1,)), num_threads=2)
+        with pytest.raises(RuntimeError, match="mode0"):
+            engine.mode_level(factors, 1)
+
+    def test_memo_bytes(self, setup4):
+        csf, factors, _ = setup4
+        engine = MemoizedMttkrp(csf, 4, plan=MemoPlan((1, 2)), num_threads=2)
+        assert engine.memo_bytes() == 0
+        engine.mode0(factors)
+        expected = (csf.fiber_counts[1] + csf.fiber_counts[2]) * 4 * 8
+        assert engine.memo_bytes() == expected
+
+    def test_invalid_plan_for_ndim(self, coo3):
+        csf = CsfTensor.from_coo(coo3)
+        with pytest.raises(ValueError):
+            MemoizedMttkrp(csf, 2, plan=MemoPlan((2,)))
+
+    def test_invalid_partition_name(self, setup4):
+        csf, _, _ = setup4
+        with pytest.raises(ValueError, match="partition"):
+            MemoizedMttkrp(csf, 2, partition="hash")
+
+    def test_wrong_factor_count_raises(self, setup4):
+        csf, factors, _ = setup4
+        engine = MemoizedMttkrp(csf, 4)
+        with pytest.raises(ValueError, match="factor matrices"):
+            engine.mode0(factors[:2])
+
+    def test_bad_level_raises(self, setup4):
+        csf, factors, _ = setup4
+        engine = MemoizedMttkrp(csf, 4)
+        engine.mode0(factors)
+        with pytest.raises(ValueError):
+            engine.mode_level(factors, 7)
+
+
+class TestTrafficCharging:
+    def test_memo_plan_changes_traffic(self, setup4):
+        csf, factors, _ = setup4
+        def run(plan):
+            c = TrafficCounter()
+            engine = MemoizedMttkrp(csf, 4, plan=plan, num_threads=2, counter=c)
+            engine.iteration_results(factors)
+            return c
+
+        none = run(SAVE_NONE)
+        some = run(MemoPlan((1,)))
+        assert none.total != some.total
+        assert "w:memo" in some.by_category
+        assert "w:memo" not in none.by_category
+        assert "r:memo" in some.by_category
+
+    def test_structure_and_factor_categories_present(self, setup4):
+        csf, factors, _ = setup4
+        c = TrafficCounter()
+        engine = MemoizedMttkrp(csf, 4, num_threads=2, counter=c)
+        engine.iteration_results(factors)
+        assert c.by_category["r:structure"] > 0
+        assert c.by_category["r:factor"] > 0
+        assert c.writes > 0

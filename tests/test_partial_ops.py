@@ -1,0 +1,96 @@
+"""Unit tests for TTM / mTTV / MTTV on partially contracted tensors."""
+
+import numpy as np
+import pytest
+
+from repro.ops import (
+    mttkrp_dense,
+    mttv,
+    mttv_reduce,
+    partial_mttkrp_dense,
+    ttm_last_mode,
+)
+from tests.conftest import make_factors
+
+
+class TestTtm:
+    def test_matches_dense_partial(self, coo4):
+        fac = make_factors(coo4.shape, 3, seed=1)
+        p = ttm_last_mode(coo4, fac[3], [0, 1, 2, 3])
+        assert np.allclose(p.to_dense(), partial_mttkrp_dense(coo4.to_dense(), fac, 2))
+
+    def test_permuted_order(self, coo4):
+        fac = make_factors(coo4.shape, 3, seed=2)
+        order = [2, 0, 3, 1]
+        p = ttm_last_mode(coo4, fac[1], order)
+        ref = partial_mttkrp_dense(
+            np.transpose(coo4.to_dense(), order),
+            [fac[m] for m in order],
+            2,
+        )
+        assert np.allclose(p.to_dense(), ref)
+
+    def test_fiber_count_matches_coo(self, coo4):
+        fac = make_factors(coo4.shape, 2, seed=3)
+        p = ttm_last_mode(coo4, fac[3], [0, 1, 2, 3])
+        assert p.num_fibers == coo4.fiber_count([0, 1, 2, 3], 2)
+
+    def test_incomplete_order_raises(self, coo4):
+        fac = make_factors(coo4.shape, 2, seed=3)
+        with pytest.raises(ValueError, match="every tensor mode"):
+            ttm_last_mode(coo4, fac[2], [0, 1, 2])
+
+    def test_nbytes_positive(self, coo4):
+        fac = make_factors(coo4.shape, 2, seed=3)
+        p = ttm_last_mode(coo4, fac[3], [0, 1, 2, 3])
+        assert p.nbytes() > 0
+        assert p.rank == 2
+
+
+class TestMttv:
+    def test_chain_to_p1(self, coo4):
+        fac = make_factors(coo4.shape, 3, seed=4)
+        p2 = ttm_last_mode(coo4, fac[3], [0, 1, 2, 3])
+        p1 = mttv(p2, fac[2])
+        assert np.allclose(
+            p1.to_dense(), partial_mttkrp_dense(coo4.to_dense(), fac, 1)
+        )
+
+    def test_chain_to_p0_equals_mode0_mttkrp(self, coo4):
+        fac = make_factors(coo4.shape, 3, seed=5)
+        p = ttm_last_mode(coo4, fac[3], [0, 1, 2, 3])
+        p = mttv(p, fac[2])
+        p = mttv(p, fac[1])
+        mode0 = np.zeros((coo4.shape[0], 3))
+        mode0[p.indices[0]] = p.data
+        assert np.allclose(mode0, mttkrp_dense(coo4.to_dense(), fac, 0))
+
+    def test_single_mode_raises(self, coo4):
+        fac = make_factors(coo4.shape, 2, seed=6)
+        p = ttm_last_mode(coo4, fac[3], [0, 1, 2, 3])
+        p = mttv(p, fac[2])
+        p = mttv(p, fac[1])
+        with pytest.raises(ValueError, match="two remaining"):
+            mttv(p, fac[0])
+
+
+class TestMttvReduce:
+    @pytest.mark.parametrize("target_level", [1, 2])
+    def test_matches_mttkrp(self, coo4, target_level):
+        """Contracting down to level ``target_level`` and MTTV-reducing
+        equals the MTTKRP of the mode stored at that level."""
+        fac = make_factors(coo4.shape, 3, seed=7)
+        order = [0, 1, 2, 3]
+        p = ttm_last_mode(coo4, fac[3], order)
+        level = 2
+        while level > target_level:
+            p = mttv(p, fac[order[level]])
+            level -= 1
+        out = mttv_reduce(p, [fac[order[i]] for i in range(target_level)])
+        assert np.allclose(out, mttkrp_dense(coo4.to_dense(), fac, order[target_level]))
+
+    def test_wrong_factor_count_raises(self, coo4):
+        fac = make_factors(coo4.shape, 2, seed=8)
+        p = ttm_last_mode(coo4, fac[3], [0, 1, 2, 3])
+        with pytest.raises(ValueError, match="leading factors"):
+            mttv_reduce(p, [fac[0]])

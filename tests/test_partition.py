@@ -1,0 +1,99 @@
+"""Unit tests for thread partitioning (Algorithm 3 + slice scheme)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import nnz_partition, slice_partition
+from repro.tensor import CsfTensor, TABLE1_SPECS, generate, random_tensor
+
+
+class TestNnzPartition:
+    @pytest.mark.parametrize("threads", [1, 2, 3, 5, 8, 16])
+    def test_leaf_ranges_cover_exactly(self, csf4, threads):
+        part = nnz_partition(csf4, threads)
+        total = 0
+        prev_hi = 0
+        for th in range(threads):
+            lo, hi = part.leaf_range(th)
+            assert lo == prev_hi
+            total += hi - lo
+            prev_hi = hi
+        assert total == csf4.nnz
+
+    @pytest.mark.parametrize("threads", [2, 4, 7])
+    def test_loads_balanced_within_one(self, csf4, threads):
+        part = nnz_partition(csf4, threads)
+        loads = part.per_thread_leaf_counts()
+        assert loads.max() - loads.min() <= 1
+
+    def test_starts_are_parents(self, csf4):
+        part = nnz_partition(csf4, 5)
+        for th in range(6):
+            for lvl in range(csf4.ndim - 2, -1, -1):
+                child_pos = part.starts[th, lvl + 1]
+                if th < 5:  # sentinel row handled separately
+                    expected = csf4.find_parent(lvl, np.array([child_pos]))[0]
+                    assert part.starts[th, lvl] == expected
+
+    def test_sentinel_row(self, csf4):
+        part = nnz_partition(csf4, 3)
+        for lvl in range(csf4.ndim):
+            assert part.starts[3, lvl] == csf4.fiber_counts[lvl]
+
+    def test_invalid_threads_raise(self, csf4):
+        with pytest.raises(ValueError):
+            nnz_partition(csf4, 0)
+
+    def test_more_threads_than_nnz(self):
+        t = random_tensor((4, 4, 4), nnz=5, seed=0)
+        csf = CsfTensor.from_coo(t)
+        part = nnz_partition(csf, 16)
+        assert part.per_thread_leaf_counts().sum() == csf.nnz
+
+    def test_strategy_label(self, csf4):
+        assert nnz_partition(csf4, 2).strategy == "nnz"
+
+
+class TestSlicePartition:
+    @pytest.mark.parametrize("threads", [1, 2, 4, 9])
+    def test_leaf_coverage(self, csf4, threads):
+        part = slice_partition(csf4, threads)
+        assert part.per_thread_leaf_counts().sum() == csf4.nnz
+
+    def test_slice_boundaries_never_split_nodes(self, csf4):
+        part = slice_partition(csf4, 4)
+        shared = part.shared_boundary_nodes(csf4)
+        assert all(len(level) == 0 for level in shared)
+
+    def test_idle_threads_when_few_slices(self):
+        t = generate(TABLE1_SPECS["vast-2015-mc1-3d"], nnz=2000, seed=0)
+        csf = CsfTensor.from_coo(t)
+        assert csf.fiber_counts[0] == 2
+        part = slice_partition(csf, 6)
+        loads = part.per_thread_leaf_counts()
+        assert np.count_nonzero(loads) <= 2  # only 2 threads get work
+
+    def test_strategy_label(self, csf4):
+        assert slice_partition(csf4, 2).strategy == "slice"
+
+
+class TestSharedBoundaries:
+    @pytest.mark.parametrize("threads", [2, 3, 6])
+    def test_bounded_by_threads_per_level(self, csf4, threads):
+        part = nnz_partition(csf4, threads)
+        for level_nodes in part.shared_boundary_nodes(csf4):
+            assert len(level_nodes) <= threads  # Section II-D bound
+
+    def test_node_ranges_overlap_only_at_boundaries(self, csf4):
+        part = nnz_partition(csf4, 4)
+        for lvl in range(csf4.ndim - 1):
+            for th in range(3):
+                _lo1, hi1 = part.node_range(th, lvl)
+                lo2, _hi2 = part.node_range(th + 1, lvl)
+                assert lo2 >= hi1 - 1  # overlap at most the boundary node
+
+    def test_max_over_mean(self, csf4):
+        part = nnz_partition(csf4, 4)
+        assert 1.0 <= part.max_over_mean < 1.2
+        sl = slice_partition(csf4, 4)
+        assert sl.max_over_mean >= 1.0

@@ -1,0 +1,77 @@
+"""Tests for model persistence and the reorder CLI."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cpd import KruskalTensor, cp_als
+from repro.baselines import SplattAll
+from repro.tensor import low_rank_tensor, read_tns
+
+
+class TestKruskalPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        kt = KruskalTensor(
+            rng.random(3), [rng.standard_normal((n, 3)) for n in (5, 4, 6)]
+        )
+        path = str(tmp_path / "model.npz")
+        kt.save(path)
+        back = KruskalTensor.load(path)
+        assert np.array_equal(back.weights, kt.weights)
+        for a, b in zip(back.factors, kt.factors):
+            assert np.array_equal(a, b)
+        assert back.shape == kt.shape
+
+    def test_loaded_model_scores_identically(self, tmp_path):
+        t = low_rank_tensor((8, 7, 6), rank=2, nnz=200, noise=0.1, seed=2)
+        res = cp_als(t, 2, backend=SplattAll(t, 2), max_iters=5, tol=0)
+        path = str(tmp_path / "m.npz")
+        res.model.save(path)
+        loaded = KruskalTensor.load(path)
+        assert np.isclose(loaded.fit(t), res.model.fit(t))
+
+    def test_load_rejects_foreign_archive(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        np.savez(path, stuff=np.ones(3))
+        with pytest.raises(ValueError, match="archive"):
+            KruskalTensor.load(path)
+
+    def test_load_rejects_missing_factors(self, tmp_path):
+        path = str(tmp_path / "nofac.npz")
+        np.savez(path, weights=np.ones(2))
+        with pytest.raises(ValueError, match="factor"):
+            KruskalTensor.load(path)
+
+
+class TestReorderCli:
+    def test_reorder_writes_valid_tns(self, tmp_path):
+        from repro.cli import main
+
+        out_path = str(tmp_path / "re.tns")
+        buf = io.StringIO()
+        code = main(
+            ["reorder", "nell-2", "--nnz", "1000", "--output", out_path],
+            out=buf,
+        )
+        assert code == 0
+        assert "blocks" in buf.getvalue()
+        reloaded = read_tns(out_path)
+        assert reloaded.nnz > 500
+
+    def test_reorder_preserves_values(self, tmp_path):
+        from repro.cli import main, load_tensor
+
+        out_path = str(tmp_path / "re.tns")
+        main(
+            ["reorder", "uber", "--nnz", "800", "--seed", "3",
+             "--output", out_path],
+            out=io.StringIO(),
+        )
+        original = load_tensor("uber", 800, 3)
+        reordered = read_tns(out_path)
+        assert reordered.nnz == original.nnz
+        assert np.allclose(
+            np.sort(reordered.values), np.sort(original.values)
+        )

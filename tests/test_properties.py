@@ -1,0 +1,227 @@
+"""Property-based tests (hypothesis) on core data structures & invariants.
+
+These are the library's contract tests: random tensors of random shape,
+dimensionality, sparsity and duplication are pushed through every layer,
+asserting structural invariants and oracle equivalence.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    MemoPlan,
+    MemoizedMttkrp,
+    count_swapped_fibers,
+    enumerate_plans,
+)
+from repro.ops import mttkrp_coo_reference, mttkrp_dense
+from repro.parallel import ReplicatedArray, nnz_partition
+from repro.tensor import AltoTensor, CooTensor, CsfTensor
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def coo_tensors(draw, min_ndim=2, max_ndim=4, max_dim=9, max_nnz=60):
+    """Random COO tensors with possible duplicate coordinates."""
+    ndim = draw(st.integers(min_ndim, max_ndim))
+    shape = tuple(draw(st.integers(2, max_dim)) for _ in range(ndim))
+    nnz = draw(st.integers(1, max_nnz))
+    idx = np.empty((ndim, nnz), dtype=np.int64)
+    for m in range(ndim):
+        col = draw(
+            st.lists(
+                st.integers(0, shape[m] - 1), min_size=nnz, max_size=nnz
+            )
+        )
+        idx[m] = col
+    values = np.array(
+        draw(
+            st.lists(
+                st.floats(-10, 10, allow_nan=False, width=32),
+                min_size=nnz,
+                max_size=nnz,
+            )
+        )
+    )
+    return CooTensor.from_arrays(idx, values, shape)
+
+
+def factors_for(tensor, rank, seed):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((n, rank)) for n in tensor.shape]
+
+
+# ---------------------------------------------------------------------------
+# storage invariants
+# ---------------------------------------------------------------------------
+
+
+@given(coo_tensors())
+@settings(max_examples=40, deadline=None)
+def test_coo_canonical_sorted_and_unique(t):
+    if t.nnz > 1:
+        keys = list(zip(*[t.indices[m] for m in range(t.ndim)]))
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)
+
+
+@given(coo_tensors(), st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_csf_roundtrip_any_order(t, seed):
+    rng = np.random.default_rng(seed)
+    order = tuple(rng.permutation(t.ndim))
+    csf = CsfTensor.from_coo(t, order)
+    assert np.allclose(csf.to_coo().to_dense(), t.to_dense())
+
+
+@given(coo_tensors())
+@settings(max_examples=30, deadline=None)
+def test_csf_fiber_counts_monotone_and_leaf_is_nnz(t):
+    csf = CsfTensor.from_coo(t)
+    fc = csf.fiber_counts
+    assert fc[-1] == t.nnz
+    assert all(a <= b for a, b in zip(fc, fc[1:]))
+
+
+@given(coo_tensors())
+@settings(max_examples=30, deadline=None)
+def test_alto_roundtrip(t):
+    at = AltoTensor.from_coo(t)
+    assert np.allclose(at.to_coo().to_dense(), t.to_dense())
+
+
+# ---------------------------------------------------------------------------
+# kernel equivalence
+# ---------------------------------------------------------------------------
+
+
+@given(coo_tensors(), st.integers(1, 5), st.integers(0, 10**6))
+@settings(max_examples=25, deadline=None)
+def test_coo_reference_matches_dense_oracle(t, rank, seed):
+    factors = factors_for(t, rank, seed)
+    dense = t.to_dense()
+    for u in range(t.ndim):
+        assert np.allclose(
+            mttkrp_coo_reference(t, factors, u),
+            mttkrp_dense(dense, factors, u),
+            atol=1e-8,
+        )
+
+
+@given(coo_tensors(min_ndim=3), st.integers(1, 8), st.integers(0, 10**6))
+@settings(max_examples=20, deadline=None)
+def test_memoized_engine_equals_oracle_for_every_plan(t, threads, seed):
+    """Memoized MTTKRP == plain MTTKRP for EVERY save-set and thread
+    count — the core correctness claim of Algorithms 4-8."""
+    rank = 3
+    factors = factors_for(t, rank, seed)
+    dense = t.to_dense()
+    csf = CsfTensor.from_coo(t)
+    for plan in enumerate_plans(t.ndim):
+        engine = MemoizedMttkrp(csf, rank, plan=plan, num_threads=threads)
+        for mode, result in engine.iteration_results(factors):
+            assert np.allclose(
+                result, mttkrp_dense(dense, factors, mode), atol=1e-8
+            ), (plan, mode)
+
+
+@given(coo_tensors(min_ndim=3), st.integers(2, 7))
+@settings(max_examples=20, deadline=None)
+def test_parallel_equals_serial(t, threads):
+    """Any thread count produces bit-identical results to one thread
+    (boundary replication correctness)."""
+    rank = 2
+    factors = factors_for(t, rank, seed=7)
+    csf = CsfTensor.from_coo(t)
+    plan = MemoPlan(tuple(range(1, t.ndim - 1)))
+    serial = MemoizedMttkrp(csf, rank, plan=plan, num_threads=1)
+    par = MemoizedMttkrp(csf, rank, plan=plan, num_threads=threads)
+    rs = serial.iteration_results(factors)
+    rp = par.iteration_results(factors)
+    for (m1, a), (m2, b) in zip(rs, rp):
+        assert m1 == m2
+        assert np.allclose(a, b, atol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# partition invariants
+# ---------------------------------------------------------------------------
+
+
+@given(coo_tensors(min_ndim=2), st.integers(1, 12))
+@settings(max_examples=30, deadline=None)
+def test_nnz_partition_invariants(t, threads):
+    csf = CsfTensor.from_coo(t)
+    part = nnz_partition(csf, threads)
+    # Leaf coverage: disjoint, exhaustive, ordered.
+    assert part.starts[0, -1] == 0
+    assert part.starts[-1, -1] == csf.nnz
+    assert np.all(np.diff(part.starts[:, -1]) >= 0)
+    # Balance within one leaf.
+    loads = part.per_thread_leaf_counts()
+    assert loads.max() - loads.min() <= 1
+    # Starts at level i are parents of starts at level i+1.
+    for lvl in range(csf.ndim - 1):
+        for th in range(threads):
+            pos = part.starts[th, lvl + 1]
+            if pos < csf.fiber_counts[lvl + 1]:
+                node = part.starts[th, lvl]
+                assert csf.ptr[lvl][node] <= pos < csf.ptr[lvl][node + 1]
+
+
+@given(
+    st.integers(1, 30),
+    st.integers(1, 4),
+    st.integers(1, 6),
+    st.integers(0, 10**6),
+)
+@settings(max_examples=40, deadline=None)
+def test_replicated_array_merge_equals_direct_sum(n_rows, rank, threads, seed):
+    """Random overlapping-at-boundary writes through the shifted buffer
+    merge to exactly the direct accumulation."""
+    rng = np.random.default_rng(seed)
+    rep = ReplicatedArray(n_rows, rank, threads)
+    direct = np.zeros((n_rows, rank))
+    bounds = np.sort(rng.integers(0, n_rows + 1, threads - 1)) if threads > 1 else np.array([], dtype=int)
+    edges = np.concatenate(([0], bounds, [n_rows]))
+    for th in range(threads):
+        lo = int(edges[th])
+        hi = min(int(edges[th + 1]) + 1, n_rows)  # overlap one boundary row
+        if hi <= lo:
+            continue
+        data = rng.standard_normal((hi - lo, rank))
+        rep.view(th, lo, hi)[:] += data
+        direct[lo:hi] += data
+    assert np.allclose(rep.merge(), direct)
+
+
+# ---------------------------------------------------------------------------
+# mode-order invariants
+# ---------------------------------------------------------------------------
+
+
+@given(coo_tensors(min_ndim=3))
+@settings(max_examples=30, deadline=None)
+def test_algorithm9_matches_rebuild(t):
+    """The streaming swapped-fiber count equals the fiber count of the
+    actually rebuilt swapped CSF — Algorithm 9's correctness claim."""
+    csf = CsfTensor.from_coo(t)
+    assert count_swapped_fibers(csf) == csf.swapped_last_two().fiber_counts[-2]
+
+
+@given(coo_tensors(min_ndim=3), st.integers(1, 5))
+@settings(max_examples=20, deadline=None)
+def test_memo_space_accounting_consistent(t, threads):
+    """memo_bytes reported by the engine equals the plan's accounting."""
+    csf = CsfTensor.from_coo(t)
+    rank = 2
+    plan = MemoPlan(tuple(range(1, t.ndim - 1)))
+    engine = MemoizedMttkrp(csf, rank, plan=plan, num_threads=threads)
+    factors = factors_for(t, rank, seed=1)
+    engine.mode0(factors)
+    # Engine stores merged arrays (without the +T replication rows).
+    expected = sum(csf.fiber_counts[i] * rank * 8 for i in plan.save_levels)
+    assert engine.memo_bytes() == expected

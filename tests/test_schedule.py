@@ -1,0 +1,61 @@
+"""Tests for work-schedule diagnostics (Section II-D / III-A stats)."""
+
+import pytest
+
+from repro.core import build_schedule
+from repro.tensor import CsfTensor, TABLE1_SPECS, generate
+
+
+class TestBuildSchedule:
+    def test_nnz_schedule_balanced(self, csf4):
+        ws = build_schedule(csf4, 5, "nnz")
+        assert ws.num_threads == 5
+        assert ws.active_threads == 5
+        assert ws.imbalance_percent < 5.0
+        assert ws.max_over_mean < 1.05
+
+    def test_slice_schedule_no_replication(self, csf4):
+        ws = build_schedule(csf4, 4, "slice")
+        assert ws.replicated_rows == 0
+
+    def test_nnz_replication_bounded(self, csf4):
+        ws = build_schedule(csf4, 6, "nnz")
+        # At most T shared nodes per internal level (Section II-D).
+        for level in ws.shared_nodes_per_level:
+            assert len(level) <= 6
+
+    def test_unknown_strategy_raises(self, csf4):
+        with pytest.raises(ValueError):
+            build_schedule(csf4, 2, "random")
+
+
+class TestVastPathology:
+    """The Section II-D narrative: 2 root slices, ~1674% imbalance."""
+
+    @pytest.fixture(scope="class")
+    def vast_csf(self):
+        t = generate(TABLE1_SPECS["vast-2015-mc1-3d"], nnz=20_000, seed=0)
+        return CsfTensor.from_coo(t)
+
+    def test_slice_uses_two_threads(self, vast_csf):
+        ws = build_schedule(vast_csf, 8, "slice")
+        assert ws.active_threads <= 2
+
+    def test_slice_imbalance_large(self, vast_csf):
+        ws = build_schedule(vast_csf, 2, "slice")
+        # Paper: 1674%.  The generator targets a 947/53 split -> ~1690%.
+        assert ws.imbalance_percent > 800
+
+    def test_nnz_fixes_both(self, vast_csf):
+        ws = build_schedule(vast_csf, 8, "nnz")
+        assert ws.active_threads == 8
+        assert ws.imbalance_percent < 5
+
+    def test_stretch_ratio(self, vast_csf):
+        from repro.analysis import compare_strategies
+
+        cmp = compare_strategies(vast_csf, 8)
+        assert cmp.stretch_ratio() > 3  # slice is several x worse
+        rows = cmp.summary_rows()
+        assert rows["slice"]["active_threads"] <= 2
+        assert rows["nnz"]["active_threads"] == 8

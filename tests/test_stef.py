@@ -1,0 +1,144 @@
+"""Tests for the STeF and STeF2 facades."""
+
+import numpy as np
+import pytest
+
+from repro.core import MemoPlan, SAVE_NONE, Stef, Stef2
+from repro.ops import mttkrp_dense
+from repro.parallel import AMD_TR_64, INTEL_CLX_18, TrafficCounter
+from repro.tensor import TABLE1_SPECS, generate, random_tensor
+from tests.conftest import make_factors
+
+
+@pytest.fixture(scope="module")
+def workload():
+    t = random_tensor((9, 7, 6, 5), nnz=220, seed=17)
+    return t, t.to_dense(), make_factors(t.shape, 4, seed=18)
+
+
+class TestStefConstruction:
+    def test_planner_ran(self, workload):
+        t, _, _ = workload
+        s = Stef(t, 4)
+        assert s.decision is not None
+        assert s.preprocessing_seconds > 0
+        assert len(s.decision.configurations) == 8  # 2 orders x 4 plans
+
+    def test_machine_sets_threads(self, workload):
+        t, _, _ = workload
+        assert Stef(t, 4, machine=INTEL_CLX_18).num_threads == 18
+        assert Stef(t, 4, machine=AMD_TR_64).num_threads == 64
+        assert Stef(t, 4, machine=AMD_TR_64, num_threads=4).num_threads == 4
+
+    def test_forced_plan_respected(self, workload):
+        t, _, _ = workload
+        s = Stef(t, 4, plan=MemoPlan((2,)))
+        assert s.plan == MemoPlan((2,))
+
+    def test_forced_swap_respected(self, workload):
+        t, _, _ = workload
+        for swap in (True, False):
+            s = Stef(t, 4, swap_last_two=swap)
+            assert s.swap_last_two is swap
+
+    def test_swap_changes_csf_layout(self, workload):
+        t, _, _ = workload
+        a = Stef(t, 4, swap_last_two=False)
+        b = Stef(t, 4, swap_last_two=True)
+        assert a.mode_order[-2:] == b.mode_order[::-1][:2]
+
+    def test_describe(self, workload):
+        t, _, _ = workload
+        s = Stef(t, 4)
+        text = s.describe()
+        assert "stef" in text and "save=" in text
+
+
+class TestStefCorrectness:
+    @pytest.mark.parametrize("swap", [False, True])
+    @pytest.mark.parametrize("threads", [1, 4])
+    def test_full_iteration(self, workload, swap, threads):
+        t, dense, factors = workload
+        s = Stef(t, 4, num_threads=threads, swap_last_two=swap)
+        for mode, res in s.iteration_results(factors):
+            assert np.allclose(res, mttkrp_dense(dense, factors, mode))
+
+    def test_mttkrp_level_api(self, workload):
+        t, dense, factors = workload
+        s = Stef(t, 4, num_threads=2)
+        s.mttkrp_level(factors, 0)
+        for lvl in range(1, t.ndim):
+            res = s.mttkrp_level(factors, lvl)
+            mode = s.mode_order[lvl]
+            assert np.allclose(res, mttkrp_dense(dense, factors, mode))
+
+    def test_memo_bytes_after_mode0(self, workload):
+        t, _, factors = workload
+        s = Stef(t, 4, plan=MemoPlan((1,)), num_threads=2)
+        s.mttkrp_level(factors, 0)
+        assert s.memo_bytes() > 0
+        s2 = Stef(t, 4, plan=SAVE_NONE)
+        s2.mttkrp_level(factors, 0)
+        assert s2.memo_bytes() == 0
+
+
+class TestStef2:
+    def test_second_csf_rooted_at_leaf_mode(self, workload):
+        t, _, _ = workload
+        s = Stef2(t, 4)
+        assert s.csf2.mode_order[0] == s.csf.mode_order[-1]
+
+    def test_full_iteration_matches_oracle(self, workload):
+        t, dense, factors = workload
+        s = Stef2(t, 4, num_threads=3)
+        s.mttkrp_level(factors, 0)
+        for lvl in range(1, t.ndim):
+            res = s.mttkrp_level(factors, lvl)
+            mode = s.mode_order[lvl]
+            assert np.allclose(res, mttkrp_dense(dense, factors, mode))
+
+    def test_extra_csf_bytes_positive(self, workload):
+        t, _, _ = workload
+        s = Stef2(t, 4)
+        assert s.extra_csf_bytes() > 0
+
+    def test_leaf_mode_avoids_leaf_kernel_traffic(self):
+        """On a compressing tensor (nell-2's pathology) STeF2's leaf-mode
+        sweep on the second CSF must generate less counted traffic than
+        STeF's per-leaf scatter kernel — the gap the paper says STeF2
+        closes on nell-2."""
+        t = generate(TABLE1_SPECS["nell-2"], nnz=6000, seed=0)
+        factors = make_factors(t.shape, 16, seed=3)
+        c1, c2 = TrafficCounter(), TrafficCounter()
+        s1 = Stef(t, 16, num_threads=2, counter=c1, plan=SAVE_NONE)
+        s2 = Stef2(t, 16, num_threads=2, counter=c2, plan=SAVE_NONE)
+        leaf = t.ndim - 1
+        s1.mttkrp_level(factors, 0)
+        s2.mttkrp_level(factors, 0)
+        c1.reset(), c2.reset()
+        s1.mttkrp_level(factors, leaf)
+        s2.mttkrp_level(factors, leaf)
+        # STeF's leaf kernel scatters one accumulation per *non-zero* into
+        # the output (atomics or privatization, read+write); STeF2's sweep
+        # writes each output row exactly once with no conflicted reads.
+        out1 = c1.by_category.get("w:output", 0) + c1.by_category.get("r:output", 0)
+        out2 = c2.by_category.get("w:output", 0) + c2.by_category.get("r:output", 0)
+        assert out2 < 0.5 * out1
+
+
+class TestModelDecisionsOnTable1:
+    def test_vast_saving_beats_not_saving(self):
+        """vast-2015-mc1-3d: within the base layout, heavy fiber
+        compression makes saving clearly profitable (Section IV-A: 2.5B
+        vs 3.4B total elements)."""
+        t = generate(TABLE1_SPECS["vast-2015-mc1-3d"], nnz=15_000, seed=0)
+        s = Stef(t, 32, machine=INTEL_CLX_18, num_threads=4)
+        base_best = s.decision.best_with_swap(False)
+        assert len(base_best.plan.save_levels) > 0
+
+    def test_uber_avoids_biggest_partial(self):
+        """uber: the model must not save the barely-compressing deepest
+        partial (Section IV-A)."""
+        t = generate(TABLE1_SPECS["uber"], nnz=6000, seed=0)
+        s = Stef(t, 32, machine=INTEL_CLX_18, num_threads=4)
+        assert (t.ndim - 2) not in s.plan.save_levels

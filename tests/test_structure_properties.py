@@ -1,0 +1,160 @@
+"""Property tests for the secondary structures: HiCOO, Lexi-Order,
+toolbox algebra."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.reorder import lexi_order, random_relabel
+from repro.tensor import CooTensor, CsfTensor, HicooTensor
+from repro.tensor.toolbox import (
+    add,
+    frobenius_distance,
+    hadamard_product,
+    mode_marginals,
+    subtract,
+)
+
+
+@st.composite
+def coo_small(draw, max_dim=8, max_nnz=40):
+    ndim = draw(st.integers(2, 4))
+    shape = tuple(draw(st.integers(2, max_dim)) for _ in range(ndim))
+    nnz = draw(st.integers(1, max_nnz))
+    idx = np.empty((ndim, nnz), dtype=np.int64)
+    for m in range(ndim):
+        idx[m] = draw(
+            st.lists(st.integers(0, shape[m] - 1), min_size=nnz, max_size=nnz)
+        )
+    vals = np.array(
+        draw(
+            st.lists(
+                st.floats(-8, 8, allow_nan=False, width=32),
+                min_size=nnz,
+                max_size=nnz,
+            )
+        )
+    )
+    return CooTensor.from_arrays(idx, vals, shape)
+
+
+@st.composite
+def coo_pairs(draw):
+    a = draw(coo_small())
+    nnz = draw(st.integers(1, 30))
+    idx = np.empty((a.ndim, nnz), dtype=np.int64)
+    for m in range(a.ndim):
+        idx[m] = draw(
+            st.lists(st.integers(0, a.shape[m] - 1), min_size=nnz, max_size=nnz)
+        )
+    vals = np.array(
+        draw(
+            st.lists(
+                st.floats(-8, 8, allow_nan=False, width=32),
+                min_size=nnz,
+                max_size=nnz,
+            )
+        )
+    )
+    b = CooTensor.from_arrays(idx, vals, a.shape)
+    return a, b
+
+
+# ---------------------------------------------------------------------------
+# HiCOO
+# ---------------------------------------------------------------------------
+
+
+@given(coo_small(), st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_hicoo_roundtrip_any_block_bits(t, bits):
+    h = HicooTensor.from_coo(t, block_bits=bits)
+    assert np.allclose(h.to_coo().to_dense(), t.to_dense())
+    assert h.nnz == t.nnz
+    assert h.block_histogram().sum() == t.nnz
+
+
+@given(coo_small())
+@settings(max_examples=30, deadline=None)
+def test_hicoo_blocks_monotone_in_bits(t):
+    counts = [
+        HicooTensor.from_coo(t, block_bits=b).n_blocks for b in (1, 3, 5)
+    ]
+    assert counts[0] >= counts[1] >= counts[2]
+
+
+# ---------------------------------------------------------------------------
+# Lexi-Order
+# ---------------------------------------------------------------------------
+
+
+@given(coo_small(), st.integers(0, 10**6))
+@settings(max_examples=25, deadline=None)
+def test_relabel_roundtrip_and_invariants(t, seed):
+    rel = lexi_order(t) if seed % 2 else random_relabel(t, seed)
+    rt = rel.apply(t)
+    # Bijection: inverse recovers the original exactly.
+    assert np.allclose(rel.invert().apply(rt).to_dense(), t.to_dense())
+    # Norm and nnz are invariant.
+    assert rt.nnz == t.nnz
+    assert np.isclose(rt.norm(), t.norm())
+    # Fiber counts are invariant (any fixed order).
+    order = tuple(range(t.ndim))
+    assert (
+        CsfTensor.from_coo(rt, order).fiber_counts
+        == CsfTensor.from_coo(t, order).fiber_counts
+    )
+
+
+# ---------------------------------------------------------------------------
+# toolbox algebra
+# ---------------------------------------------------------------------------
+
+
+@given(coo_pairs())
+@settings(max_examples=30, deadline=None)
+def test_add_commutes_and_matches_dense(pair):
+    a, b = pair
+    ab = add(a, b)
+    ba = add(b, a)
+    assert np.allclose(ab.to_dense(), a.to_dense() + b.to_dense(), atol=1e-6)
+    assert np.allclose(ab.to_dense(), ba.to_dense(), atol=1e-6)
+
+
+@given(coo_pairs())
+@settings(max_examples=30, deadline=None)
+def test_hadamard_commutes_and_matches_dense(pair):
+    a, b = pair
+    h = hadamard_product(a, b)
+    assert np.allclose(h.to_dense(), a.to_dense() * b.to_dense(), atol=1e-6)
+    assert np.allclose(
+        h.to_dense(), hadamard_product(b, a).to_dense(), atol=1e-6
+    )
+
+
+@given(coo_pairs())
+@settings(max_examples=30, deadline=None)
+def test_distance_axioms(pair):
+    a, b = pair
+    d = frobenius_distance(a, b)
+    assert d >= 0
+    assert np.isclose(d, frobenius_distance(b, a))
+    assert np.isclose(frobenius_distance(a, a), 0.0, atol=1e-7)
+    assert np.isclose(
+        d, np.linalg.norm(a.to_dense() - b.to_dense()), atol=1e-6
+    )
+
+
+@given(coo_small())
+@settings(max_examples=30, deadline=None)
+def test_marginals_sum_to_total(t):
+    total = t.values.sum()
+    for m in range(t.ndim):
+        assert np.isclose(mode_marginals(t, m).sum(), total, atol=1e-6)
+
+
+@given(coo_pairs())
+@settings(max_examples=20, deadline=None)
+def test_subtract_then_add_identity(pair):
+    a, b = pair
+    back = add(subtract(a, b), b)
+    assert np.allclose(back.to_dense(), a.to_dense(), atol=1e-6)

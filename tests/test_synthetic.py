@@ -1,0 +1,137 @@
+"""Tests for the Table-I synthetic tensor generators — including the
+sparsity pathologies each dataset must reproduce."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    TABLE1_SPECS,
+    CsfTensor,
+    default_mode_order,
+    generate,
+    load_or_generate,
+    low_rank_tensor,
+    random_tensor,
+)
+
+
+class TestSpecs:
+    def test_all_sixteen_tensors_present(self):
+        assert len(TABLE1_SPECS) == 16
+
+    @pytest.mark.parametrize("name", sorted(TABLE1_SPECS))
+    def test_spec_consistency(self, name):
+        spec = TABLE1_SPECS[name]
+        assert spec.ndim == len(spec.paper_dims) == len(spec.skews)
+        assert spec.paper_nnz > 0
+
+    def test_paper_dims_match_table1(self):
+        assert TABLE1_SPECS["uber"].paper_dims == (183, 24, 1_140, 1_717)
+        assert TABLE1_SPECS["nell-2"].paper_dims == (12_092, 9_184, 28_818)
+        assert TABLE1_SPECS["vast-2015-mc1-3d"].paper_dims == (165_427, 11_374, 2)
+        assert TABLE1_SPECS["chicago-crime-geo"].ndim == 5
+        assert TABLE1_SPECS["lbln-network"].ndim == 5
+
+    def test_scaled_dims_keep_structural_modes(self):
+        spec = TABLE1_SPECS["uber"]
+        dims = spec.scaled_dims(3000)
+        assert dims[1] == 24  # hour-of-day is structural
+        assert dims[0] == 183
+
+    def test_scaled_dims_shrink_large_modes(self):
+        spec = TABLE1_SPECS["delicious-3d"]
+        dims = spec.scaled_dims(5000)
+        assert all(d <= 65536 for d in dims)
+        assert dims[1] > dims[0]  # ordering of magnitudes preserved
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", sorted(TABLE1_SPECS))
+    def test_generates_valid_tensor(self, name):
+        t = generate(TABLE1_SPECS[name], nnz=800, seed=0)
+        assert t.nnz <= 800
+        assert t.nnz > 400  # dedup should not destroy most of the sample
+        assert t.ndim == TABLE1_SPECS[name].ndim
+        assert np.all(t.values > 0)  # lognormal count-like data
+
+    def test_deterministic_per_seed(self):
+        a = generate(TABLE1_SPECS["uber"], nnz=500, seed=3)
+        b = generate(TABLE1_SPECS["uber"], nnz=500, seed=3)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.values, b.values)
+
+    def test_seeds_differ(self):
+        a = generate(TABLE1_SPECS["uber"], nnz=500, seed=1)
+        b = generate(TABLE1_SPECS["uber"], nnz=500, seed=2)
+        assert not np.array_equal(a.indices, b.indices)
+
+
+class TestPathologies:
+    def test_vast_two_root_slices(self):
+        """vast-2015's length-2 mode is the root after length sorting and
+        must show the heavy imbalance of Section II-D."""
+        t = generate(TABLE1_SPECS["vast-2015-mc1-3d"], nnz=5000, seed=0)
+        order = default_mode_order(t.shape)
+        assert t.shape[order[0]] == 2
+        csf = CsfTensor.from_coo(t)
+        assert csf.fiber_counts[0] == 2
+        # Imbalance is over leaf non-zeros per root slice, not child fibers.
+        loads = [csf.leaf_span(0, n)[1] - csf.leaf_span(0, n)[0] for n in (0, 1)]
+        big, small = max(loads), min(loads)
+        # Paper reports ~1674% imbalance => max/min ~ 17.7; allow slack.
+        assert big / small > 8
+
+    def test_delicious4d_fiber_length_inversion(self):
+        """The longest mode must NOT have the longest average fibers
+        (Section II-E's motivation for the last-two-mode swap): leaf
+        fibers in the swapped layout (2M-analog mode as leaf) must be
+        markedly longer than in the base layout (17M-analog as leaf)."""
+        t = generate(TABLE1_SPECS["delicious-4d"], nnz=8000, seed=0)
+        order = list(default_mode_order(t.shape))
+        base = CsfTensor.from_coo(t, order)
+        swapped = CsfTensor.from_coo(t, order[:-2] + [order[-1], order[-2]])
+        base_avg = t.nnz / base.fiber_counts[-2]
+        swap_avg = t.nnz / swapped.fiber_counts[-2]
+        # Paper stats: 1.5 vs 3 -> the swapped layout compresses ~2x more.
+        assert swap_avg > 1.5 * base_avg
+
+    def test_freebase_is_hypersparse(self):
+        t = generate(TABLE1_SPECS["freebase_music"], nnz=3000, seed=0)
+        csf = CsfTensor.from_coo(t)
+        # Fibers barely compress: nearly every nnz is its own fiber chain.
+        assert csf.fiber_counts[-2] > 0.5 * t.nnz
+
+
+class TestHelpers:
+    def test_random_tensor_shape_exact(self):
+        t = random_tensor((10, 20, 30), nnz=100, seed=0)
+        assert t.shape == (10, 20, 30)
+        assert t.nnz <= 100
+
+    def test_low_rank_tensor_values_follow_model(self):
+        t, factors = low_rank_tensor(
+            (12, 10, 8), rank=2, nnz=400, noise=0.0, seed=0, return_factors=True
+        )
+        expected = np.ones((t.nnz, 2))
+        for m, A in enumerate(factors):
+            expected *= A[t.indices[m]]
+        assert np.allclose(t.values, expected.sum(axis=1))
+
+    def test_low_rank_noise_changes_values(self):
+        a = low_rank_tensor((8, 8, 8), rank=2, nnz=200, noise=0.0, seed=0)
+        b = low_rank_tensor((8, 8, 8), rank=2, nnz=200, noise=1.0, seed=0)
+        assert not np.allclose(a.values, b.values)
+
+    def test_load_or_generate_prefers_file(self, tmp_path):
+        from repro.tensor import write_tns
+
+        spec = TABLE1_SPECS["uber"]
+        real = random_tensor((5, 5, 5, 5), nnz=10, seed=0)
+        write_tns(real, str(tmp_path / "uber.tns"))
+        loaded = load_or_generate(spec, nnz=500, data_dir=str(tmp_path))
+        assert loaded.nnz == real.nnz
+
+    def test_load_or_generate_falls_back(self, tmp_path):
+        spec = TABLE1_SPECS["uber"]
+        t = load_or_generate(spec, nnz=300, seed=1, data_dir=str(tmp_path))
+        assert t.nnz <= 300

@@ -1,0 +1,120 @@
+"""Tests for the sparse tensor toolbox."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import CooTensor, random_tensor
+from repro.tensor.toolbox import (
+    add,
+    extract_slice,
+    frobenius_distance,
+    hadamard_product,
+    mode_marginals,
+    subtract,
+    top_slices,
+)
+
+
+@pytest.fixture
+def pair():
+    a = random_tensor((8, 7, 6), nnz=90, seed=31)
+    b = random_tensor((8, 7, 6), nnz=90, seed=32)
+    return a, b
+
+
+class TestElementwise:
+    def test_add_matches_dense(self, pair):
+        a, b = pair
+        c = add(a, b, alpha=2.0, beta=-0.5)
+        assert np.allclose(c.to_dense(), 2.0 * a.to_dense() - 0.5 * b.to_dense())
+
+    def test_subtract(self, pair):
+        a, b = pair
+        assert np.allclose(subtract(a, b).to_dense(), a.to_dense() - b.to_dense())
+
+    def test_self_subtract_is_zero(self, pair):
+        a, _ = pair
+        diff = subtract(a, a)
+        assert np.allclose(diff.to_dense(), 0.0)
+
+    def test_hadamard_matches_dense(self, pair):
+        a, b = pair
+        h = hadamard_product(a, b)
+        assert np.allclose(h.to_dense(), a.to_dense() * b.to_dense())
+
+    def test_hadamard_disjoint_supports_empty(self):
+        a = CooTensor.from_arrays(np.array([[0], [0]]), np.array([1.0]), (2, 2))
+        b = CooTensor.from_arrays(np.array([[1], [1]]), np.array([1.0]), (2, 2))
+        assert hadamard_product(a, b).nnz == 0
+
+    def test_shape_mismatch_raises(self, pair):
+        a, _ = pair
+        other = random_tensor((8, 7, 5), nnz=10, seed=33)
+        with pytest.raises(ValueError):
+            add(a, other)
+
+    def test_huge_index_space_path(self):
+        """Shapes whose linearized space exceeds int64 use the structured
+        fallback."""
+        shape = (2**40, 2**40, 2**40)
+        idx = np.array([[1, 2], [3, 4], [5, 6]], dtype=np.int64)
+        a = CooTensor.from_arrays(idx, np.array([1.0, 2.0]), shape)
+        b = CooTensor.from_arrays(idx[:, :1], np.array([3.0]), shape)
+        h = hadamard_product(a, b)
+        assert h.nnz == 1
+        assert h.values[0] == 3.0
+
+
+class TestDistance:
+    def test_matches_dense(self, pair):
+        a, b = pair
+        expected = np.linalg.norm(a.to_dense() - b.to_dense())
+        assert np.isclose(frobenius_distance(a, b), expected)
+
+    def test_zero_for_identical(self, pair):
+        a, _ = pair
+        assert frobenius_distance(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    def test_triangle_inequality(self, pair):
+        a, b = pair
+        c = random_tensor((8, 7, 6), nnz=50, seed=34)
+        assert frobenius_distance(a, c) <= (
+            frobenius_distance(a, b) + frobenius_distance(b, c) + 1e-9
+        )
+
+
+class TestStructural:
+    def test_mode_marginals_match_dense(self, pair):
+        a, _ = pair
+        dense = a.to_dense()
+        for m in range(3):
+            axes = tuple(x for x in range(3) if x != m)
+            assert np.allclose(mode_marginals(a, m), dense.sum(axis=axes))
+
+    def test_marginals_bad_mode(self, pair):
+        with pytest.raises(ValueError):
+            mode_marginals(pair[0], 5)
+
+    def test_extract_slice_matches_dense(self, pair):
+        a, _ = pair
+        dense = a.to_dense()
+        sl = extract_slice(a, 1, 3)
+        assert sl.shape == (8, 6)
+        assert np.allclose(sl.to_dense(), dense[:, 3, :])
+
+    def test_extract_slice_bounds(self, pair):
+        with pytest.raises(ValueError):
+            extract_slice(pair[0], 0, 99)
+        with pytest.raises(ValueError):
+            extract_slice(pair[0], 9, 0)
+
+    def test_top_slices(self):
+        idx = np.array([[0, 0, 0, 2], [0, 1, 2, 0]])
+        t = CooTensor.from_arrays(idx, np.array([5.0, 5.0, 5.0, 1.0]), (3, 3))
+        top = top_slices(t, 0, k=2)
+        assert top[0] == 0
+        assert top[1] == 2
+
+    def test_top_slices_k_clamped(self, pair):
+        a, _ = pair
+        assert len(top_slices(a, 0, k=100)) == a.shape[0]
