@@ -94,14 +94,21 @@ def profile_method(
     num_threads: Optional[int] = None,
     tensor_name: str = "?",
     seed: int = 0,
+    exec_backend: str = "serial",
 ) -> MethodProfile:
-    """Run one MTTKRP set and capture per-level category breakdowns."""
+    """Run one MTTKRP set and capture per-level category breakdowns.
+
+    ``exec_backend`` selects the simulated pool's execution mode
+    (``"serial"`` or ``"threads"``); the per-thread counter sharding makes
+    the profile identical either way.
+    """
     cache_scale = scale_for_tensor(tensor, tensor_name)
     machine_eff = machine.with_cache_scale(cache_scale)
     counter = TrafficCounter(cache_elements=machine_eff.cache_elements)
     threads = num_threads if num_threads is not None else machine.num_threads
     backend = ALL_BACKENDS[method](
-        tensor, rank, machine=machine_eff, num_threads=threads, counter=counter
+        tensor, rank, machine=machine_eff, num_threads=threads,
+        counter=counter, backend=exec_backend,
     )
     factors = random_init(tensor.shape, rank, seed)
     profile = MethodProfile(
@@ -113,13 +120,27 @@ def profile_method(
         t0 = time.perf_counter()
         backend.mttkrp_level(factors, level)
         wall = time.perf_counter() - t0
-        cats = {
-            k: v - prev_cats.get(k, 0.0)
-            for k, v in counter.by_category.items()
-            if v - prev_cats.get(k, 0.0) > 0
-        }
+        cats: Dict[str, float] = {}
+        for k, v in counter.by_category.items():
+            delta = v - prev_cats.get(k, 0.0)
+            if delta < 0:
+                # Counters only ever accumulate; a shrinking category means
+                # the counter was corrupted (lost updates, an unexpected
+                # reset) and the whole profile is untrustworthy.
+                raise RuntimeError(
+                    f"negative traffic delta for category {k!r} at level "
+                    f"{level} of {method!r} ({delta:g}): counter corruption"
+                )
+            if delta > 0:
+                cats[k] = delta
         traffic = counter.total - prev_total
         flops = counter.flops - prev_flops
+        if traffic < 0 or flops < 0:
+            raise RuntimeError(
+                f"negative traffic/flop delta at level {level} of "
+                f"{method!r} (traffic {traffic:g}, flops {flops:g}): "
+                "counter corruption"
+            )
         load = backend.level_load_factor(level)
         profile.levels.append(
             LevelProfile(

@@ -28,7 +28,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.csf_kernels import scatter_add_rows
-from ..parallel.counters import NULL_COUNTER, TrafficCounter
+from ..parallel.counters import NULL_COUNTER, ShardedTrafficCounter, TrafficCounter
 from ..parallel.executor import SimulatedPool
 from ..parallel.machine import MachineSpec
 from ..tensor.alto import AltoTensor
@@ -60,6 +60,7 @@ class AltoBackend:
         )
         self.alto = AltoTensor.from_coo(tensor)
         self.pool = SimulatedPool(threads, backend)
+        self.shards = ShardedTrafficCounter.like(counter, threads)
         self.partitions = self.alto.partitions(threads)
         self.mode_order: Tuple[int, ...] = tuple(range(tensor.ndim))
         # Decoded per-mode coordinates are cached: ALTO decodes with a few
@@ -81,9 +82,19 @@ class AltoBackend:
         out = np.zeros((n_out, self.rank))
         vals = self.alto.values
         other = [m for m in range(d) if m != mode]
+        self.shards.reset()
 
         def body(th: int) -> Tuple[int, np.ndarray]:
             lo, hi = self.partitions[th]
+            # Per-thread legs, charged race-free to this thread's shard:
+            # the linearized-index decode, the values stream and the
+            # recompute arithmetic of this partition's non-zeros.
+            shard = self.shards.shard(th)
+            n = hi - lo
+            shard.read(n * (self.alto.index_bits // 64), "structure")
+            shard.read(n, "values")
+            shard.flop(2.0 * (d - 1) * n * self.rank, "recompute")
+            shard.flop(2.0 * self.alto.mask.total_bits * n, "decode")
             acc = vals[lo:hi, None] * np.asarray(factors[other[0]])[
                 self._coords[other[0]][lo:hi]
             ]
@@ -95,15 +106,15 @@ class AltoBackend:
             hi = lo + acc.shape[0]
             scatter_add_rows(out, self._coords[mode][lo:hi], acc)
 
+        self.shards.merge_into(self.counter)
         self._charge(mode, factors)
         return out
 
     def _charge(self, mode: int, factors: Sequence[np.ndarray]) -> None:
+        """Kernel-level legs (per-thread legs are charged in the thread
+        bodies): the cache-rule factor gathers and the output scatter."""
         nnz = self.tensor.nnz
         d = self.tensor.ndim
-        # Linearized indices: 1 element per nnz (2 for the 128-bit layout).
-        self.counter.read(nnz * (self.alto.index_bits // 64), "structure")
-        self.counter.read(nnz, "values")
         for m in range(d):
             if m == mode:
                 continue
@@ -115,13 +126,6 @@ class AltoBackend:
         self.counter.scatter_update(
             nnz, self.tensor.shape[mode], self.rank, self.num_threads, "output"
         )
-        # Recompute-from-scratch arithmetic: one multiply per non-target
-        # mode per non-zero per rank column, plus the accumulate — the
-        # "significantly higher FLOP count" of Section V.
-        self.counter.flop(2 * (d - 1) * nnz * self.rank, "recompute")
-        # Per-access coordinate decode: extracting each mode's bits from
-        # the linearized index costs ~2 ALU ops per interleaved bit.
-        self.counter.flop(2 * self.alto.mask.total_bits * nnz, "decode")
 
     def level_load_factor(self, level: int) -> float:
         """ALTO's flat equal-nnz split is perfectly balanced by

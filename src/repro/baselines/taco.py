@@ -29,7 +29,7 @@ import numpy as np
 from ..core.csf_kernels import scatter_add_rows, thread_upward_sweep
 from ..core.memoization import SAVE_NONE
 from ..core.mttkrp import MemoizedMttkrp
-from ..parallel.counters import NULL_COUNTER, TrafficCounter
+from ..parallel.counters import NULL_COUNTER, ShardedTrafficCounter, TrafficCounter
 from ..parallel.executor import SimulatedPool
 from ..parallel.machine import MachineSpec
 from ..tensor.coo import CooTensor
@@ -66,6 +66,7 @@ class TacoBackend:
         d = tensor.ndim
         self.mode_order: Tuple[int, ...] = tuple(range(d))
         self.pool = SimulatedPool(threads, backend)
+        self.shards = ShardedTrafficCounter.like(counter, threads)
         self.csfs: List[CsfTensor] = []
         for mode in range(d):
             rest = sorted(
@@ -123,8 +124,28 @@ class TacoBackend:
         n_tasks = len(tasks)
         pool_t = self.pool.num_threads
 
+        d = csf.ndim
+        if charge:
+            self.shards.reset()
+
+        def charge_chunk(shard: TrafficCounter, s_lo: int, s_hi: int) -> None:
+            # Per-thread legs: structure walk and contraction arithmetic
+            # of the chunk's subtree.  Chunk boundaries are slice-aligned,
+            # so the per-level node spans tile every level exactly and the
+            # merged totals match the single-counter tallies.
+            a, b = s_lo, s_hi
+            nodes = b - a
+            children = 0
+            for j in range(d - 1):
+                a, b = int(csf.ptr[j][a]), int(csf.ptr[j][b])
+                nodes += b - a
+                children += b - a
+            shard.read(2.0 * nodes, "structure")
+            shard.flop(2.0 * rank * children, "sweep")
+
         def body(th: int) -> List[Tuple[int, np.ndarray]]:
             results = []
+            shard = self.shards.shard(th)
             # Tasks dealt round-robin: the dynamic-ish schedule chunking
             # buys TACO its balance edge over a static slice deal.
             for ti in range(th, n_tasks, pool_t):
@@ -134,6 +155,8 @@ class TacoBackend:
                     _, leaf_hi = csf.leaf_span(0, s_hi - 1)
                 else:
                     leaf_hi = leaf_lo
+                if charge:
+                    charge_chunk(shard, s_lo, s_hi)
                 res = thread_upward_sweep(csf, lf, leaf_lo, leaf_hi, stop_level=0)
                 results.append(res[0])
             return results
@@ -143,16 +166,15 @@ class TacoBackend:
                 out[csf.idx[0][nlo : nlo + tp.shape[0]]] += tp
 
         if charge:
+            # Kernel-level legs on the coordinator: cache-rule factor
+            # gathers and the dense output write.
+            self.shards.merge_into(self.counter)
             m = csf.fiber_counts
-            d = csf.ndim
-            for j in range(d):
-                self.counter.read(2 * m[j], "structure")
-                if j > 0:
-                    self.counter.read_factor_rows(
-                        m[j], csf.level_shape(j), rank, "factor"
-                    )
+            for j in range(1, d):
+                self.counter.read_factor_rows(
+                    m[j], csf.level_shape(j), rank, "factor"
+                )
             self.counter.write(csf.level_shape(0) * rank, "output")
-            self.counter.flop(2 * rank * sum(m[1:]), "sweep")
         return out
 
     # ------------------------------------------------------------------

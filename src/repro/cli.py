@@ -78,6 +78,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--threads", type=int, default=None,
                        help="override the machine's thread count")
 
+    def add_method_args(p: argparse.ArgumentParser) -> None:
+        """The shared method/execution selectors (one definition — the
+        ``decompose`` and ``profile`` copies previously drifted apart)."""
+        p.add_argument(
+            "--backend", choices=sorted(ALL_BACKENDS), default="stef",
+            help="MTTKRP method (default stef)",
+        )
+        p.add_argument(
+            "--exec-backend", choices=["serial", "threads"], default="serial",
+            dest="exec_backend",
+            help="simulated-pool execution: deterministic serial order or "
+            "a real thread pool (results are identical either way)",
+        )
+
     p_info = sub.add_parser("info", help="storage & sparsity statistics")
     add_common(p_info)
 
@@ -86,9 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_dec = sub.add_parser("decompose", help="run CPD-ALS")
     add_common(p_dec)
-    p_dec.add_argument(
-        "--backend", choices=sorted(ALL_BACKENDS), default="stef"
-    )
+    add_method_args(p_dec)
     p_dec.add_argument("--iters", type=int, default=20)
     p_dec.add_argument("--tol", type=float, default=1e-4)
     p_dec.add_argument("--init", choices=["random", "hosvd"], default="random")
@@ -102,9 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_prof = sub.add_parser("profile", help="per-mode cost breakdown")
     add_common(p_prof)
-    p_prof.add_argument(
-        "--backend", choices=sorted(ALL_BACKENDS), default="stef"
-    )
+    add_method_args(p_prof)
 
     p_re = sub.add_parser(
         "reorder", help="Lexi-Order a tensor and write the relabeled .tns"
@@ -155,7 +165,8 @@ def _cmd_decompose(args, out) -> int:
     tensor = load_tensor(args.tensor, args.nnz, args.seed)
     machine = MACHINES[args.machine]
     backend = ALL_BACKENDS[args.backend](
-        tensor, args.rank, machine=machine, num_threads=args.threads
+        tensor, args.rank, machine=machine, num_threads=args.threads,
+        backend=args.exec_backend,
     )
     if hasattr(backend, "describe"):
         print(backend.describe(), file=out)
@@ -211,6 +222,7 @@ def _cmd_profile(args, out) -> int:
     profile = profile_method(
         args.backend, tensor, args.rank, machine,
         num_threads=args.threads, tensor_name=args.tensor,
+        exec_backend=args.exec_backend,
     )
     print(profile.format(), file=out)
     return 0

@@ -23,10 +23,22 @@ GIL-releasing NumPy); scatters into shared outputs happen on the
 coordinating thread, so the ``"threads"`` backend is race-free while the
 ``"serial"`` backend is bit-identical to it.
 
-Every call charges its semantic read/write volumes to a
-:class:`~repro.parallel.counters.TrafficCounter` at the same granularity
-as the Section IV model, giving the measured channel the Fig. 3/4
-harness reports.
+Every call charges its semantic read/write volumes at the same
+granularity as the Section IV model, giving the measured channel the
+Fig. 3/4 harness reports.  Accounting is split in two:
+
+* **per-thread legs** (structure walk, memo reads, contraction
+  arithmetic) are charged *inside the thread bodies* to a private
+  :class:`~repro.parallel.counters.ShardedTrafficCounter` shard — no
+  shared mutable state under the ``threads`` backend — using each
+  thread's *owned* node counts (a disjoint tiling of every level, so the
+  merged totals are independent of the thread count);
+* **kernel-level legs** (the DM_factor cache-rule gathers, output/memo
+  writes, the conflicted scatter) are whole-kernel model quantities and
+  are charged once on the coordinator after the shards merge.
+
+The shard merge is vectorized and runs in fixed thread-id order, so the
+``serial`` and ``threads`` backends report bit-identical tallies.
 """
 
 from __future__ import annotations
@@ -35,7 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..parallel.counters import NULL_COUNTER, TrafficCounter
+from ..parallel.counters import NULL_COUNTER, ShardedTrafficCounter, TrafficCounter
 from ..parallel.executor import ReplicatedArray, SimulatedPool
 from ..parallel.partition import ThreadPartition, nnz_partition, slice_partition
 from ..tensor.csf import CsfTensor
@@ -90,8 +102,15 @@ class MemoizedMttkrp:
             self.partition = slice_partition(csf, num_threads)
         else:
             raise ValueError(f"unknown partition strategy {partition!r}")
+        #: Per-thread counter shards; thread bodies charge their own shard
+        #: and the coordinator merges after every kernel (race-free).
+        self.shards = ShardedTrafficCounter.like(counter, self.pool.num_threads)
         #: Saved partial results, keyed by level; refreshed by mode0().
         self.memo: Dict[int, np.ndarray] = {}
+        # Boundary-replicated accumulation buffers, allocated once per
+        # kept level and reset() between kernel invocations so repeated
+        # ALS iterations reuse them without double-merge corruption.
+        self._reps: Dict[int, ReplicatedArray] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -110,14 +129,60 @@ class MemoizedMttkrp:
         """Current footprint of the retained partial results."""
         return int(sum(a.nbytes for a in self.memo.values()))
 
+    def level_load_factor(self, u: int) -> float:
+        """Load-imbalance stretch of the schedule *actually executing*
+        level ``u``'s MTTKRP.
+
+        Leaf-driven kernels (the mode-0 sweep, recompute-from-tensor and
+        the leaf mode) deal work by the per-thread leaf counts; memo-fed
+        kernels (Fig. 1b/1c) deal work by the node ranges of their source
+        level, whose balance can differ substantially from the leaves'.
+        """
+        d = self.csf.ndim
+        if not 0 <= u <= d - 1:
+            raise ValueError(f"level {u} out of range")
+        if u == 0 or u == d - 1:
+            return self.partition.load_factor(d - 1)
+        source = self.plan.source_level(u, d)
+        if source == d - 1:
+            return self.partition.load_factor(d - 1)
+        return self.partition.load_factor(source)
+
     # ------------------------------------------------------------------
     # traffic accounting helpers (model-granularity semantic charges)
     # ------------------------------------------------------------------
-    def _charge_traversal(self, upto_level: int) -> None:
-        """Structure reads for walking levels ``0..upto_level`` inclusive."""
-        m = self.csf.fiber_counts
-        for j in range(upto_level + 1):
-            self.counter.read(2 * m[j], "structure")
+    def _charge_thread_sweep(self, th: int) -> None:
+        """Per-thread legs of the mode-0 sweep, charged to ``th``'s shard:
+        structure reads over the thread's owned nodes at every level and
+        one fused multiply-add per owned child fiber per rank column.
+        Owned counts tile each level exactly, so the merged totals match
+        the serial single-counter tallies for any thread count."""
+        owned = self.partition.owned_counts(th)
+        shard = self.shards.shard(th)
+        shard.read(2.0 * int(owned.sum()), "structure")
+        shard.flop(2.0 * self.rank * int(owned[1:].sum()), "sweep")
+
+    def _charge_thread_mode_u(self, th: int, u: int, source: int) -> None:
+        """Per-thread legs of a mode-``u`` kernel: the structure walk down
+        to the source data, the memo reads of the thread's node range, and
+        the downward-``k`` / recompute / Hadamard arithmetic."""
+        owned = self.partition.owned_counts(th)
+        shard = self.shards.shard(th)
+        d, rank = self.csf.ndim, self.rank
+        # Downward k sweep: one multiply per owned node per rank column
+        # over the ancestor levels.
+        flops = rank * int(owned[1 : u + 1].sum())
+        if source == d - 1:
+            # Full traversal (values included), recompute from the tensor.
+            shard.read(2.0 * int(owned.sum()), "structure")
+            flops += 2 * rank * int(owned[u + 1 : d].sum())
+        else:
+            shard.read(2.0 * int(owned[:source].sum()), "structure")
+            shard.read(float(int(owned[source]) * rank), "memo")
+            flops += 2 * rank * int(owned[u + 1 : source + 1].sum())
+        # Hadamard + accumulate at the target level.
+        flops += 2 * rank * int(owned[u])
+        shard.flop(flops, "mode-u")
 
     def _charge_factor_reads(self, levels: Sequence[int]) -> None:
         m = self.csf.fiber_counts
@@ -139,14 +204,13 @@ class MemoizedMttkrp:
         lf = self._level_factors(factors)
         part = self.partition
         self.memo.clear()
+        self.shards.reset()
 
         keep_levels = sorted(set(self.plan.save_levels) | {0})
-        reps = {
-            lvl: ReplicatedArray(csf.fiber_counts[lvl], rank, self.num_threads)
-            for lvl in keep_levels
-        }
+        reps = self._replicated_buffers(keep_levels)
 
         def body(th: int) -> Dict[int, Tuple[int, np.ndarray]]:
+            self._charge_thread_sweep(th)
             lo, hi = part.leaf_range(th)
             return thread_upward_sweep(csf, lf, lo, hi, stop_level=0)
 
@@ -162,9 +226,10 @@ class MemoizedMttkrp:
         out = np.zeros((csf.level_shape(0), rank))
         out[csf.idx[0]] = t0
 
-        # Accounting: full traversal, factor gathers at contracted levels,
-        # output + memo writes (the boundary-replication rows are the +T).
-        self._charge_traversal(d - 1)
+        # Accounting: per-thread traversal/sweep legs merged from the
+        # shards, then the kernel-level factor gathers and output + memo
+        # writes (the boundary-replication rows are the +T).
+        self.shards.merge_into(self.counter)
         self._charge_factor_reads(range(1, d))
         self.counter.write(csf.level_shape(0) * rank, "output")
         for lvl in self.plan.save_levels:
@@ -174,9 +239,26 @@ class MemoizedMttkrp:
             # buffer read each line before overwriting (Section IV-C's
             # mode-0 read-side memo term).
             self.counter.read(size, "memo-allocate")
-        # One fused multiply-add per child fiber per rank column.
-        self.counter.flop(2 * rank * sum(csf.fiber_counts[1:]), "sweep")
         return out
+
+    def _replicated_buffers(
+        self, keep_levels: Sequence[int]
+    ) -> Dict[int, ReplicatedArray]:
+        """Reusable boundary-replicated buffers for ``keep_levels`` —
+        allocated on first use, ``reset()`` on every later invocation so
+        repeated mode-0 sweeps never merge stale stripes twice."""
+        reps: Dict[int, ReplicatedArray] = {}
+        for lvl in keep_levels:
+            rep = self._reps.get(lvl)
+            if rep is None:
+                rep = ReplicatedArray(
+                    self.csf.fiber_counts[lvl], self.rank, self.num_threads
+                )
+                self._reps[lvl] = rep
+            else:
+                rep.reset()
+            reps[lvl] = rep
+        return reps
 
     # ------------------------------------------------------------------
     # modes u > 0
@@ -197,6 +279,7 @@ class MemoizedMttkrp:
                 f"plan saves P^({source}) but mode0 has not populated it"
             )
         out = np.zeros((csf.level_shape(u), rank))
+        self.shards.reset()
 
         if u == d - 1:
             contribs = self._leaf_mode_contribs(lf)
@@ -207,6 +290,7 @@ class MemoizedMttkrp:
         for nlo, contrib in contribs:
             scatter_add_rows(out, csf.idx[u][nlo : nlo + contrib.shape[0]], contrib)
 
+        self.shards.merge_into(self.counter)
         self._charge_mode_u(u, source)
         return out
 
@@ -217,6 +301,7 @@ class MemoizedMttkrp:
         csf, part, memo = self.csf, self.partition, self.memo[u]
 
         def body(th: int) -> Tuple[int, np.ndarray]:
+            self._charge_thread_mode_u(th, u, u)
             a, b = int(part.starts[th, u]), int(part.starts[th + 1, u])
             k = thread_downward_k(csf, lf, u, a, b)
             return a, k * memo[a:b]
@@ -237,6 +322,7 @@ class MemoizedMttkrp:
         init = self.memo[source] if source < d - 1 else None
 
         def body(th: int) -> Tuple[int, np.ndarray]:
+            self._charge_thread_mode_u(th, u, source)
             if source == d - 1:
                 lo, hi = part.leaf_range(th)
                 res = thread_upward_sweep(csf, lf, lo, hi, stop_level=u)
@@ -258,6 +344,7 @@ class MemoizedMttkrp:
         csf, part, d = self.csf, self.partition, self.csf.ndim
 
         def body(th: int) -> Tuple[int, np.ndarray]:
+            self._charge_thread_mode_u(th, d - 1, d - 1)
             lo, hi = part.leaf_range(th)
             k = thread_downward_k(csf, lf, d - 1, lo, hi)
             return lo, csf.values[lo:hi, None] * k
@@ -265,26 +352,19 @@ class MemoizedMttkrp:
         return self.pool.map(body)
 
     def _charge_mode_u(self, u: int, source: int) -> None:
+        """Kernel-level legs of a mode-``u`` charge (the per-thread legs
+        live in :meth:`_charge_thread_mode_u`): the DM_factor cache-rule
+        gathers and the conflicted output scatter are whole-kernel model
+        quantities, charged once on the coordinator."""
         csf, d, rank = self.csf, self.csf.ndim, self.rank
         m = csf.fiber_counts
-        # Downward k sweep: one multiply per node per rank column over the
-        # ancestor levels.
-        flops = rank * sum(m[1 : u + 1])
         if source == d - 1:
-            # Full traversal (values included) + every contracted factor.
-            self._charge_traversal(d - 1)
+            # Every contracted factor is gathered while recomputing.
             self._charge_factor_reads([j for j in range(d) if j != u])
-            flops += 2 * rank * sum(m[u + 1 : d])
         else:
-            self._charge_traversal(source - 1)
-            self.counter.read(m[source] * rank, "memo")
             self._charge_factor_reads(
                 [j for j in range(source) if j != u]
             )
-            flops += 2 * rank * sum(m[u + 1 : source + 1])
-        # Hadamard + accumulate at the target level.
-        flops += 2 * rank * m[u]
-        self.counter.flop(flops, "mode-u")
         # Scattered accumulation into Ā^(u): atomics or privatization
         # (Algorithm 4 lines 13-14) — never the cheap mode-0 path.
         self.counter.scatter_update(

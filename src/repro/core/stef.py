@@ -144,8 +144,18 @@ class Stef:
 
     def level_load_factor(self, level: int) -> float:
         """Load-imbalance stretch factor of the schedule executing
-        ``level``'s MTTKRP (used by the simulated-time harness)."""
-        return self.engine.partition.max_over_mean
+        ``level``'s MTTKRP (used by the simulated-time harness).
+
+        Delegates to the engine, which picks the partition level actually
+        dealing that kernel's work: leaf counts for leaf-driven sweeps,
+        source-level node ranges for memo-fed modes.
+        """
+        return self.engine.level_load_factor(level)
+
+    def per_thread_traffic(self) -> List[float]:
+        """Most recent kernel's per-thread traffic totals (the sharded
+        counter's observability channel)."""
+        return self.engine.shards.per_thread_totals()
 
     def decompose(self, **als_kwargs):
         """Run CPD-ALS with this backend (convenience wrapper around

@@ -89,10 +89,12 @@ class Stef2(Stef):
         return super().mttkrp_level(factors, level)
 
     def level_load_factor(self, level: int) -> float:
-        """Leaf level runs on the second CSF's schedule."""
+        """Leaf level runs as a mode-0 sweep on the second CSF's
+        schedule; every other level follows the base engine's partition
+        at the level actually executing it."""
         if level == self.csf.ndim - 1:
-            return self.engine2.partition.max_over_mean
-        return self.engine.partition.max_over_mean
+            return self.engine2.level_load_factor(0)
+        return self.engine.level_load_factor(level)
 
     def extra_csf_bytes(self) -> int:
         """Footprint of the second tensor copy (the cost STeF2 pays)."""

@@ -70,6 +70,18 @@ class ReplicatedArray:
 
     The buffer starts zeroed; every view is an *accumulation* target
     (kernels use ``+=``).
+
+    Lifecycle
+    ---------
+    Buffers are reusable across kernel invocations (ALS iterations):
+    call :meth:`reset` between invocations to zero exactly the stripes the
+    previous invocation wrote and forget the recorded ranges.  Without the
+    reset, a second round of ``view()`` calls would re-record the same
+    ranges and :meth:`merge` would fold the (still populated) stripes
+    twice — to guard against that, :meth:`view` rejects a range that
+    overlaps one already recorded *by the same thread* since the last
+    reset.  Overlaps between different threads are the boundary-node
+    sharing the scheme exists for and remain legal.
     """
 
     def __init__(
@@ -98,14 +110,35 @@ class ReplicatedArray:
         Raises
         ------
         ValueError
-            If the range is out of bounds or the thread id is invalid.
+            If the range is out of bounds, the thread id is invalid, or
+            the range overlaps one this thread already recorded since the
+            last :meth:`reset` (which would double-merge those rows).
         """
         if not 0 <= th < self.num_threads:
             raise ValueError(f"thread id {th} out of range")
         if not 0 <= lo <= hi <= self.n_rows:
             raise ValueError(f"node range [{lo}, {hi}) out of bounds")
-        self._ranges.append((th, lo, hi))
+        if hi > lo:
+            for t_prev, a, b in self._ranges:
+                if t_prev == th and a < hi and lo < b:
+                    raise ValueError(
+                        f"thread {th} view [{lo}, {hi}) overlaps its earlier "
+                        f"view [{a}, {b}); call reset() between kernel "
+                        "invocations"
+                    )
+            self._ranges.append((th, lo, hi))
         return self.buffer[lo + th : hi + th]
+
+    def reset(self) -> None:
+        """Re-arm the buffer for the next kernel invocation.
+
+        Zeroes only the stripes previous views actually wrote (cheap when
+        threads touched a small part of a large buffer) and clears the
+        recorded ranges so :meth:`merge` cannot double-count them.
+        """
+        for th, lo, hi in self._ranges:
+            self.buffer[lo + th : hi + th] = 0.0
+        self._ranges.clear()
 
     def merge(self) -> np.ndarray:
         """Fold the shifted per-thread stripes into the canonical array.

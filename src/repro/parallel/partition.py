@@ -117,16 +117,38 @@ class ThreadPartition:
         d = self.ndim
         return np.diff(self.starts[:, d - 1])
 
+    def level_loads(self, level: int) -> np.ndarray:
+        """Nodes *owned* by each thread at ``level`` (boundary nodes are
+        attributed to the earlier-starting thread, so the counts tile
+        ``[0, m_level)`` exactly)."""
+        if not 0 <= level < self.ndim:
+            raise ValueError(f"level {level} out of range")
+        return np.diff(self.starts[:, level])
+
+    def owned_counts(self, th: int) -> np.ndarray:
+        """Per-level owned node counts for thread ``th`` — the disjoint
+        decomposition used by per-thread traffic accounting (summing over
+        threads recovers the fiber counts at every level exactly)."""
+        if not 0 <= th < self.num_threads:
+            raise ValueError(f"thread id {th} out of range")
+        return (self.starts[th + 1] - self.starts[th]).astype(np.int64)
+
+    def load_factor(self, level: int) -> float:
+        """``max load / mean load`` of the per-thread owned node counts at
+        ``level`` — the stretch factor of a kernel whose work is dealt by
+        that level's node ranges."""
+        loads = self.level_loads(level)
+        mean = float(loads.mean()) if loads.size else 0.0
+        if mean == 0:
+            return 1.0
+        return float(loads.max()) / mean
+
     @property
     def max_over_mean(self) -> float:
         """``max load / mean load`` over all threads: the factor by which
         this schedule stretches a perfectly-parallel execution (1.0 =
         perfect balance; idle threads inflate it)."""
-        loads = self.per_thread_leaf_counts()
-        mean = float(loads.mean()) if loads.size else 0.0
-        if mean == 0:
-            return 1.0
-        return float(loads.max()) / mean
+        return self.load_factor(self.ndim - 1)
 
 
 def _finalize(starts: np.ndarray, csf: CsfTensor, strategy: str) -> ThreadPartition:

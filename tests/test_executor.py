@@ -92,3 +92,62 @@ class TestReplicatedArray:
             ReplicatedArray(-1, 2, 1)
         with pytest.raises(ValueError):
             ReplicatedArray(4, 0, 1)
+
+
+class TestReplicatedArrayLifecycle:
+    def test_reset_clears_written_stripes(self):
+        rep = ReplicatedArray(6, 2, 2)
+        rep.view(0, 0, 3)[:] = 1.0
+        rep.view(1, 3, 6)[:] = 2.0
+        rep.reset()
+        assert np.all(rep.buffer == 0.0)
+        assert np.allclose(rep.merge(), 0.0)
+
+    def test_reuse_after_reset_matches_fresh(self):
+        reused = ReplicatedArray(8, 3, 3)
+        reused.view(0, 0, 4)[:] = 5.0
+        reused.view(1, 4, 8)[:] = 7.0
+        reused.reset()
+        fresh = ReplicatedArray(8, 3, 3)
+        for rep in (reused, fresh):
+            rep.view(0, 0, 3)[:] += 1.0
+            rep.view(1, 2, 6)[:] += 2.0  # boundary row 2 shared
+            rep.view(2, 6, 8)[:] += 3.0
+        assert np.array_equal(reused.merge(), fresh.merge())
+
+    def test_repeat_view_without_reset_rejected(self):
+        rep = ReplicatedArray(6, 2, 2)
+        rep.view(0, 0, 3)
+        with pytest.raises(ValueError, match="reset"):
+            rep.view(0, 0, 3)
+
+    def test_partial_overlap_same_thread_rejected(self):
+        rep = ReplicatedArray(10, 2, 2)
+        rep.view(0, 0, 5)
+        with pytest.raises(ValueError, match="overlap"):
+            rep.view(0, 4, 8)
+
+    def test_disjoint_same_thread_views_allowed(self):
+        # The same thread may take multiple views as long as they are
+        # disjoint (e.g. one kernel writing two separate node ranges).
+        rep = ReplicatedArray(10, 2, 2)
+        rep.view(0, 0, 3)[:] = 1.0
+        rep.view(0, 5, 8)[:] = 2.0
+        merged = rep.merge()
+        assert np.allclose(merged[:3], 1.0)
+        assert np.allclose(merged[5:8], 2.0)
+
+    def test_different_threads_may_share_boundary(self):
+        # Cross-thread overlap at a boundary node is the whole point of
+        # replication; only same-thread overlap is a bug.
+        rep = ReplicatedArray(6, 2, 2)
+        rep.view(0, 0, 4)[:] = 1.0
+        rep.view(1, 3, 6)[:] = 1.0  # row 3 shared with thread 0
+        assert np.allclose(rep.merge()[3], 2.0)
+
+    def test_empty_view_needs_no_reset(self):
+        rep = ReplicatedArray(6, 2, 3)
+        rep.view(1, 2, 2)
+        rep.view(1, 2, 2)  # empty ranges record nothing
+        rep.view(1, 0, 6)[:] = 1.0
+        assert np.allclose(rep.merge(), 1.0)

@@ -97,3 +97,61 @@ class TestCliProfile:
         )
         assert code == 0
         assert "bottleneck" in out.getvalue()
+
+
+class TestCounterCorruptionDetection:
+    """``profile_method`` must refuse to silently drop shrinking tallies
+    (it previously skipped negative per-category deltas, masking counter
+    corruption such as lost concurrent updates or stray resets)."""
+
+    class _CorruptingBackend:
+        name = "corrupt"
+        levels_before_reset = 1
+
+        def __init__(self, tensor, rank, *, machine=None, num_threads=None,
+                     counter=None, backend="serial"):
+            self.counter = counter
+            self.mode_order = tuple(range(tensor.ndim))
+
+        def mttkrp_level(self, factors, level):
+            if level < self.levels_before_reset:
+                self.counter.read(50, "structure")
+                self.counter.flop(10, "sweep")
+            else:
+                # Simulates lost updates: tallies go backwards.
+                self.counter.reset()
+                self.counter.read(1, "structure")
+            return np.zeros((len(factors[self.mode_order[level]]), 1))
+
+        def level_load_factor(self, level):
+            return 1.0
+
+    def test_negative_category_delta_raises(self, nell2, monkeypatch):
+        import repro.analysis.profile as prof
+
+        monkeypatch.setitem(
+            prof.ALL_BACKENDS, "corrupt", self._CorruptingBackend
+        )
+        with pytest.raises(RuntimeError, match="counter corruption"):
+            profile_method("corrupt", nell2, 4, INTEL_CLX_18, num_threads=2)
+
+    def test_healthy_backend_unaffected(self, nell2):
+        p = profile_method(
+            "stef", nell2, 8, INTEL_CLX_18, num_threads=2,
+            tensor_name="nell-2", exec_backend="threads",
+        )
+        assert len(p.levels) == nell2.ndim
+
+    def test_threads_profile_matches_serial(self, nell2):
+        serial = profile_method(
+            "stef", nell2, 8, INTEL_CLX_18, num_threads=4,
+            tensor_name="nell-2", exec_backend="serial",
+        )
+        threaded = profile_method(
+            "stef", nell2, 8, INTEL_CLX_18, num_threads=4,
+            tensor_name="nell-2", exec_backend="threads",
+        )
+        for a, b in zip(serial.levels, threaded.levels):
+            assert a.categories == b.categories
+            assert a.traffic == b.traffic
+            assert a.flops == b.flops

@@ -142,3 +142,63 @@ class TestModelDecisionsOnTable1:
         t = generate(TABLE1_SPECS["uber"], nnz=6000, seed=0)
         s = Stef(t, 32, machine=INTEL_CLX_18, num_threads=4)
         assert (t.ndim - 2) not in s.plan.save_levels
+
+
+class TestLevelLoadFactor:
+    """Regression: ``level_load_factor(level)`` used to ignore ``level``
+    and always return the leaf-count stretch."""
+
+    def _skewed_engine(self):
+        # Thread 0's half of the leaves sits in ONE level-1 fiber while
+        # thread 1's half spreads over 50: leaf balance is perfect (1.0)
+        # but the level-1 node deal is maximally skewed.
+        from repro.core import MemoizedMttkrp
+        from repro.tensor import CooTensor, CsfTensor
+
+        n = 50
+        idx = np.concatenate(
+            [
+                np.stack([np.zeros(n), np.zeros(n), np.arange(n)]),
+                np.stack([np.ones(n), np.arange(n), np.zeros(n)]),
+            ],
+            axis=1,
+        ).astype(np.int64)
+        coo = CooTensor.from_arrays(idx, np.ones(2 * n), (2, n, n))
+        csf = CsfTensor.from_coo(coo, (0, 1, 2))
+        return MemoizedMttkrp(csf, 4, plan=MemoPlan((1,)), num_threads=2)
+
+    def test_memo_fed_level_uses_source_level_balance(self):
+        engine = self._skewed_engine()
+        leaf_stretch = engine.level_load_factor(0)
+        memo_stretch = engine.level_load_factor(1)
+        assert leaf_stretch == pytest.approx(1.0)
+        # Level 1 is memo-fed from the saved level-1 partials: 1 node vs
+        # 50 nodes -> stretch 50 / 25.5.
+        assert memo_stretch == pytest.approx(50 / 25.5)
+        assert engine.level_load_factor(2) == leaf_stretch
+
+    def test_out_of_range_level_raises(self, workload):
+        tensor, _, _ = workload
+        s = Stef(tensor, 4, machine=INTEL_CLX_18, num_threads=2)
+        with pytest.raises(ValueError):
+            s.engine.level_load_factor(tensor.ndim)
+        with pytest.raises(ValueError):
+            s.engine.level_load_factor(-1)
+
+    def test_stef_delegates_to_engine(self, workload):
+        tensor, _, _ = workload
+        s = Stef(tensor, 4, machine=INTEL_CLX_18, num_threads=3)
+        for level in range(tensor.ndim):
+            assert s.level_load_factor(level) == s.engine.level_load_factor(
+                level
+            )
+
+    def test_stef2_leaf_level_uses_second_engine(self, workload):
+        tensor, _, _ = workload
+        s2 = Stef2(tensor, 4, machine=INTEL_CLX_18, num_threads=3)
+        d = tensor.ndim
+        assert s2.level_load_factor(d - 1) == s2.engine2.level_load_factor(0)
+        for level in range(d - 1):
+            assert s2.level_load_factor(level) == s2.engine.level_load_factor(
+                level
+            )

@@ -1,0 +1,247 @@
+"""Race/stress harness for the ``threads`` backend.
+
+The paper's conflict-free scheme only earns its name if real concurrency
+changes *nothing*: every MTTKRP output must be bit-identical between the
+``serial`` and ``threads`` backends, and the merged per-thread traffic
+shards must equal the serial counter's tallies exactly — not approximately.
+This module sweeps (seed, thread-count) combinations (the CI acceptance
+floor is 20), hits the boundary-sharing edge cases at every CSF level, and
+exercises the :class:`ReplicatedArray` lifecycle across repeated kernel
+invocations.
+
+``scripts/stress_threads.py`` runs the same checks standalone at
+configurable scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MemoPlan, MemoizedMttkrp, SAVE_NONE, enumerate_plans
+from repro.ops import mttkrp_dense
+from repro.parallel import (
+    ReplicatedArray,
+    ShardedTrafficCounter,
+    SimulatedPool,
+    TrafficCounter,
+    nnz_partition,
+    slice_partition,
+)
+from repro.tensor import CooTensor, CsfTensor, random_tensor
+from tests.conftest import make_factors
+
+SEEDS = range(5)
+THREAD_COUNTS = (2, 3, 5, 8)
+
+
+def _run(csf, factors, rank, threads, backend, plan, iters=1):
+    """One engine run: per-level outputs + the counter snapshot."""
+    counter = TrafficCounter(cache_elements=4096)
+    engine = MemoizedMttkrp(
+        csf, rank, plan=plan, num_threads=threads,
+        backend=backend, counter=counter,
+    )
+    outs = []
+    for _ in range(iters):
+        outs = [res for _, res in engine.iteration_results(factors)]
+    return outs, counter.snapshot()
+
+
+class TestSerialThreadsEquivalence:
+    """The acceptance sweep: ≥ 20 (seed, thread-count) combinations."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("threads", THREAD_COUNTS)
+    def test_outputs_bit_identical_and_traffic_exact(self, seed, threads):
+        tensor = random_tensor((13, 9, 7, 5), nnz=350 + 13 * seed, seed=seed)
+        csf = CsfTensor.from_coo(tensor)
+        factors = make_factors(tensor.shape, 4, seed=seed)
+        plan = MemoPlan((1,)) if seed % 2 else MemoPlan((1, 2))
+        serial_out, serial_snap = _run(csf, factors, 4, threads, "serial", plan)
+        thread_out, thread_snap = _run(csf, factors, 4, threads, "threads", plan)
+        for a, b in zip(serial_out, thread_out):
+            assert np.array_equal(a, b)  # bit-identical, not allclose
+        assert serial_snap == thread_snap  # exact, category by category
+
+    @pytest.mark.parametrize("threads", THREAD_COUNTS)
+    def test_repeated_iterations_stay_identical(self, threads):
+        """Buffer reuse across ALS iterations (the ReplicatedArray
+        lifecycle) must not leak state between invocations."""
+        tensor = random_tensor((11, 8, 6), nnz=300, seed=3)
+        csf = CsfTensor.from_coo(tensor)
+        factors = make_factors(tensor.shape, 3, seed=3)
+        once, _ = _run(csf, factors, 3, threads, "threads", MemoPlan((1,)))
+        thrice, _ = _run(
+            csf, factors, 3, threads, "threads", MemoPlan((1,)), iters=3
+        )
+        for a, b in zip(once, thrice):
+            assert np.array_equal(a, b)
+
+
+class TestReplicatedArrayLifecycle:
+    def test_mode0_twice_does_not_grow(self):
+        """Satellite regression: without the reset lifecycle, re-running
+        mode0 re-merged the stale stripes and the result doubled."""
+        tensor = random_tensor((10, 8, 6), nnz=200, seed=7)
+        csf = CsfTensor.from_coo(tensor)
+        factors = make_factors(tensor.shape, 3, seed=7)
+        dense = tensor.to_dense()
+        engine = MemoizedMttkrp(csf, 3, plan=MemoPlan((1,)), num_threads=3)
+        first = engine.mode0(factors)
+        second = engine.mode0(factors)
+        assert np.array_equal(first, second)
+        assert np.allclose(
+            second, mttkrp_dense(dense, factors, csf.mode_order[0])
+        )
+
+    def test_memo_not_double_counted_on_reuse(self):
+        tensor = random_tensor((10, 8, 6), nnz=200, seed=8)
+        csf = CsfTensor.from_coo(tensor)
+        factors = make_factors(tensor.shape, 3, seed=8)
+        engine = MemoizedMttkrp(csf, 3, plan=MemoPlan((1,)), num_threads=4)
+        engine.mode0(factors)
+        memo_first = engine.memo[1].copy()
+        engine.mode0(factors)
+        assert np.array_equal(engine.memo[1], memo_first)
+
+
+class TestBoundaryConflicts:
+    """Boundary-node sharing at every level under real threading."""
+
+    def _chain_tensor(self):
+        """A tensor whose nnz partition must cut through nodes at every
+        level: a single root slice holding one long run of non-zeros plus
+        enough structure at the deeper levels."""
+        rng = np.random.default_rng(0)
+        n = 240
+        i0 = np.zeros(n, dtype=np.int64)          # one root slice
+        i1 = np.repeat(np.arange(4), n // 4)      # 4 mid fibers
+        i2 = np.tile(np.arange(n // 4), 4)        # long leaf runs
+        vals = rng.standard_normal(n)
+        return CooTensor.from_arrays(
+            np.stack([i0, i1, i2], axis=0), vals, (1, 4, n // 4)
+        )
+
+    def test_every_level_has_shared_boundaries(self):
+        tensor = self._chain_tensor()
+        csf = CsfTensor.from_coo(tensor, (0, 1, 2))
+        part = nnz_partition(csf, 6)
+        shared = part.shared_boundary_nodes(csf)
+        for level, nodes in enumerate(shared):
+            assert nodes, f"expected shared boundary nodes at level {level}"
+
+    @pytest.mark.parametrize("backend", ["serial", "threads"])
+    def test_boundary_conflicts_resolved_exactly(self, backend):
+        tensor = self._chain_tensor()
+        csf = CsfTensor.from_coo(tensor, (0, 1, 2))
+        factors = make_factors(tensor.shape, 4, seed=1)
+        dense = tensor.to_dense()
+        engine = MemoizedMttkrp(
+            csf, 4, plan=MemoPlan((1,)), num_threads=6, backend=backend
+        )
+        for mode, result in engine.iteration_results(factors):
+            assert np.allclose(result, mttkrp_dense(dense, factors, mode))
+
+    def test_serial_threads_identical_on_boundary_tensor(self):
+        tensor = self._chain_tensor()
+        csf = CsfTensor.from_coo(tensor, (0, 1, 2))
+        factors = make_factors(tensor.shape, 4, seed=2)
+        s, snap_s = _run(csf, factors, 4, 6, "serial", MemoPlan((1,)))
+        t, snap_t = _run(csf, factors, 4, 6, "threads", MemoPlan((1,)))
+        for a, b in zip(s, t):
+            assert np.array_equal(a, b)
+        assert snap_s == snap_t
+
+
+class TestDegenerateSchedules:
+    """threads backend beyond the smoke test: starved and empty ranges."""
+
+    def test_more_threads_than_root_slices(self):
+        # 2 root slices, 8 threads: the slice deal idles 6 of them.
+        tensor = random_tensor((2, 9, 8), nnz=160, seed=4)
+        csf = CsfTensor.from_coo(tensor, (0, 1, 2))
+        assert csf.fiber_counts[0] <= 2
+        factors = make_factors(tensor.shape, 3, seed=4)
+        dense = tensor.to_dense()
+        for backend in ("serial", "threads"):
+            engine = MemoizedMttkrp(
+                csf, 3, plan=SAVE_NONE, num_threads=8,
+                partition="slice", backend=backend,
+            )
+            for mode, result in engine.iteration_results(factors):
+                assert np.allclose(result, mttkrp_dense(dense, factors, mode))
+
+    def test_more_threads_than_nonzeros(self):
+        # 5 non-zeros, 12 threads: most leaf ranges are empty.
+        tensor = random_tensor((6, 5, 4), nnz=5, seed=5)
+        csf = CsfTensor.from_coo(tensor)
+        factors = make_factors(tensor.shape, 2, seed=5)
+        dense = tensor.to_dense()
+        s, snap_s = _run(csf, factors, 2, 12, "serial", SAVE_NONE)
+        t, snap_t = _run(csf, factors, 2, 12, "threads", SAVE_NONE)
+        for a, b, (mode, _) in zip(
+            s, t, MemoizedMttkrp(csf, 2, num_threads=1).iteration_results(factors)
+        ):
+            assert np.array_equal(a, b)
+            assert np.allclose(a, mttkrp_dense(dense, factors, mode))
+        assert snap_s == snap_t
+
+    def test_empty_thread_ranges_charge_nothing(self):
+        tensor = random_tensor((6, 5, 4), nnz=5, seed=6)
+        csf = CsfTensor.from_coo(tensor)
+        factors = make_factors(tensor.shape, 2, seed=6)
+        counter = TrafficCounter()
+        engine = MemoizedMttkrp(
+            csf, 2, num_threads=12, backend="threads", counter=counter
+        )
+        engine.mode0(factors)
+        totals = engine.shards.per_thread_totals()
+        empty = [
+            th for th in range(12)
+            if engine.partition.per_thread_leaf_counts()[th] == 0
+        ]
+        assert empty  # the schedule really is starved
+        for th in empty:
+            assert totals[th] == 0.0
+
+
+class TestShardedCounterUnderRealThreads:
+    def test_concurrent_shard_charging_is_exact(self):
+        """Many tiny concurrent charges — the pattern that loses updates
+        on a single shared counter — must merge to the exact total when
+        each thread owns a shard."""
+        threads, per_thread = 8, 500
+        sharded = ShardedTrafficCounter(threads)
+        pool = SimulatedPool(threads, "threads")
+
+        def body(th):
+            shard = sharded.shard(th)
+            for i in range(per_thread):
+                shard.read(1.0, "structure")
+                shard.write(1.0, "output")
+                shard.flop(2.0, "sweep")
+            return th
+
+        assert pool.map(body) == list(range(threads))
+        merged = sharded.merge()
+        assert merged.reads == threads * per_thread
+        assert merged.writes == threads * per_thread
+        assert merged.flops == 2 * threads * per_thread
+        assert merged.by_category["r:structure"] == threads * per_thread
+
+    def test_all_plans_all_partitions_smoke(self):
+        """Cross product of plans × partitions under the threads backend
+        agrees with the dense oracle (the old suite only smoked one)."""
+        tensor = random_tensor((7, 6, 5, 4), nnz=180, seed=9)
+        dense = tensor.to_dense()
+        factors = make_factors(tensor.shape, 2, seed=9)
+        csf = CsfTensor.from_coo(tensor)
+        for plan in enumerate_plans(tensor.ndim):
+            for partition in ("nnz", "slice"):
+                engine = MemoizedMttkrp(
+                    csf, 2, plan=plan, num_threads=4,
+                    partition=partition, backend="threads",
+                )
+                for mode, result in engine.iteration_results(factors):
+                    assert np.allclose(
+                        result, mttkrp_dense(dense, factors, mode)
+                    ), (plan, partition, mode)
