@@ -23,7 +23,7 @@ from repro.core import (
 from repro.core.csf_kernels import scatter_add_rows
 from repro.cpd import random_init
 from repro.parallel import nnz_partition, slice_partition
-from repro.tensor import AltoTensor, CsfTensor
+from repro.tensor import AltoTensor, CsfTensor, random_tensor
 
 TENSOR = "flickr-4d"
 RANK = 32
@@ -95,6 +95,61 @@ def test_partition_construction(benchmark, setup, strategy):
     _, csf, _, _ = setup
     fn = nnz_partition if strategy == "nnz" else slice_partition
     benchmark(fn, csf, 64)
+
+
+def test_coo_to_dense(benchmark):
+    # flickr-4d is far too large to densify; use a dense-able cube that
+    # still stresses the bincount scatter with duplicate indices.
+    tensor = random_tensor((60, 50, 40), nnz=50_000, seed=0)
+    benchmark(tensor.to_dense)
+
+
+def test_scatter_guard_flat_bincount_vs_add_at():
+    """Regression guard for the densification scatter.
+
+    ``CooTensor.to_dense`` and ``PartialTensor.to_dense`` used to scatter
+    with a multi-index ``np.add.at``; they now flatten with
+    ``ravel_multi_index`` and reduce with ``np.bincount`` / segmented
+    reduction.  Recent NumPy gave ``add.at`` a fast path, so the win is
+    modest on this host — the guard therefore asserts the vectorized path
+    never becomes a *pessimization* (within 1.3x of the add.at baseline,
+    measured best-of-5).  If it trips, the to_dense rewrites should be
+    revisited rather than papered over.
+    """
+    import time
+
+    rng = np.random.default_rng(0)
+    shape = (200, 300, 150)
+    nnz = 200_000
+    idx = tuple(rng.integers(0, s, size=nnz) for s in shape)
+    vals = rng.standard_normal(nnz)
+
+    def add_at_multi():
+        out = np.zeros(shape)
+        np.add.at(out, idx, vals)
+        return out
+
+    def flat_bincount():
+        flat = np.ravel_multi_index(idx, shape)
+        size = int(np.prod(shape))
+        return np.bincount(flat, weights=vals, minlength=size).reshape(shape)
+
+    def best_of(fn, rounds=5):
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    assert np.allclose(add_at_multi(), flat_bincount())
+    t_add_at = best_of(add_at_multi)
+    t_bincount = best_of(flat_bincount)
+    assert t_bincount <= 1.3 * t_add_at, (
+        f"flat bincount scatter ({t_bincount * 1e3:.2f} ms) is a "
+        f"pessimization vs np.add.at ({t_add_at * 1e3:.2f} ms) — revisit "
+        "the to_dense scatter idiom"
+    )
 
 
 @pytest.mark.parametrize("plan_levels", [(), (1, 2)])

@@ -14,7 +14,12 @@ from .report import (
     geometric_mean,
     relative_performance,
 )
-from .traffic import ConfigTraffic, model_vs_measured, ranking_agreement
+from .traffic import (
+    CANONICAL_TRAFFIC_CATEGORIES,
+    ConfigTraffic,
+    model_vs_measured,
+    ranking_agreement,
+)
 from .profile import LevelProfile, MethodProfile, profile_method
 from .calibration import (
     CalibrationResult,
@@ -35,6 +40,7 @@ __all__ = [
     "geomean_speedups",
     "geometric_mean",
     "relative_performance",
+    "CANONICAL_TRAFFIC_CATEGORIES",
     "ConfigTraffic",
     "model_vs_measured",
     "ranking_agreement",

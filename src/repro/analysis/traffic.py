@@ -24,7 +24,40 @@ from ..parallel.counters import TrafficCounter
 from ..parallel.machine import MachineSpec
 from ..tensor.csf import CsfTensor
 
-__all__ = ["ConfigTraffic", "model_vs_measured", "ranking_agreement"]
+__all__ = [
+    "CANONICAL_TRAFFIC_CATEGORIES",
+    "ConfigTraffic",
+    "model_vs_measured",
+    "ranking_agreement",
+]
+
+#: The closed set of traffic-charge categories.  Every ``read``/``write``/
+#: ``flop`` charge in the kernels names one of these, and the Section IV-C
+#: data-movement model reasons in exactly the same vocabulary — the
+#: ``counter-category`` lint rule (:mod:`repro.lint`) enforces the match so
+#: the measured channel and the analytic model cannot drift apart.  Adding
+#: a category is deliberate: extend this set, teach the model about the
+#: new term, and only then start charging it.
+CANONICAL_TRAFFIC_CATEGORIES = frozenset(
+    {
+        # --- data-movement legs (Section IV-C terms) ---
+        "structure",      # CSF ptr/idx (or linearized-index) walks
+        "values",         # the non-zero value stream
+        "factor",         # factor-matrix row gathers under the DM_factor rule
+        "output",         # the dense N×R MTTKRP result
+        "memo",           # saved partial results P^(i): reads and writes
+        "memo-allocate",  # write-allocate reads on fresh memo buffers
+        # --- compute legs (the roofline's FLOP side) ---
+        "sweep",          # TTM + mTTV contraction chain (Algorithms 4-8)
+        "mode-u",         # downward-k / recompute / Hadamard of modes u > 0
+        "recompute",      # ALTO-style from-scratch contraction arithmetic
+        "decode",         # ALTO linearized-index bit-extraction
+        "scatter",        # irregular read-modify-write updates
+        # --- defaults kept for generic charges ---
+        "compute",
+        "misc",
+    }
+)
 
 
 @dataclass(frozen=True)

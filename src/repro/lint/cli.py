@@ -1,0 +1,89 @@
+"""Command-line front end: ``python -m repro.lint`` and ``repro lint``.
+
+Usage::
+
+    python -m repro.lint src/                 # whole tree, text report
+    python -m repro.lint --format json src/   # machine-readable
+    python -m repro.lint --select hot-path,dtype-discipline src/repro/ops
+    python -m repro.lint --list-rules
+
+Exit codes: 0 clean, 1 findings, 2 unparseable input or bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, List, Optional
+
+from .framework import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    all_rules,
+    format_json,
+    format_text,
+    run_lint,
+)
+
+__all__ = ["add_arguments", "execute", "main"]
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint options on ``parser`` (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULE[,RULE...]",
+        help="run only these rules (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+
+
+def _print_rules(out: IO[str]) -> int:
+    for rule in all_rules():
+        print(f"{rule.id}", file=out)
+        print(f"    {rule.description}", file=out)
+        if rule.paper_ref:
+            print(f"    derives from: {rule.paper_ref}", file=out)
+    return EXIT_CLEAN
+
+
+def execute(args: argparse.Namespace, out: Optional[IO[str]] = None) -> int:
+    """Run the lint described by parsed ``args``; returns the exit code."""
+    out = out if out is not None else sys.stdout
+    if args.list_rules:
+        return _print_rules(out)
+    select = None
+    if args.select:
+        select = [r.strip() for r in args.select.split(",") if r.strip()]
+    try:
+        report = run_lint(args.paths or ["src"], select=select)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=out)
+        return EXIT_ERROR
+    formatter = format_json if args.format == "json" else format_text
+    print(formatter(report), file=out)
+    return report.exit_code
+
+
+def main(argv: Optional[List[str]] = None, out: Optional[IO[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=(
+            "AST-based kernel-invariant analyzer: thread-body safety, "
+            "traffic-category discipline, hot-path performance, dtype "
+            "discipline"
+        ),
+    )
+    add_arguments(parser)
+    return execute(parser.parse_args(argv), out)

@@ -1,0 +1,100 @@
+"""``dtype-discipline`` — factor/memo buffers are float64 end-to-end.
+
+Every numeric buffer in the pipeline — factor matrices, memoized partial
+results ``P^(i)``, replicated accumulation stripes, MTTKRP outputs — is
+``float64``.  That single-precision never appears matters twice:
+
+* **correctness of the equivalence contracts**: the serial/threads
+  backends promise *bit-identical* outputs, and the memoized engine is
+  validated against dense oracles at float64 tolerances; a float32 buffer
+  upcast at a mix point changes rounding and breaks both silently;
+* **honesty of the traffic channel**: the counters charge *elements*, and
+  the roofline converts them at 8 bytes/element — a float32 buffer would
+  halve real traffic while the model still charges full width.
+
+This rule flags float32 (and ``single``/``f4``/``half``/``float16``)
+entering the kernel, CPD, or parallel-substrate modules, via either an
+explicit ``dtype=`` argument or an ``.astype(...)`` cast.  Deliberate
+mixed-precision experiments belong behind an explicit suppression with a
+comment explaining how the traffic accounting is adjusted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..astutils import dotted_name, expr_text
+from ..framework import FileContext, Finding, Rule, register
+
+#: Modules holding factor/memo/accumulation buffers.
+BUFFER_PATH_MARKERS = (
+    "/repro/core/",
+    "/repro/ops/",
+    "/repro/baselines/",
+    "/repro/cpd/",
+    "/repro/parallel/",
+    "/lint_fixtures/ops/",  # test fixtures exercising this rule
+)
+
+#: dtype spellings that drop below float64.
+_NARROW_NAMES = frozenset({"float32", "single", "float16", "half"})
+_NARROW_STRINGS = frozenset({"float32", "f4", "<f4", ">f4", "single", "float16", "f2", "half"})
+
+
+def _narrow_dtype(node: ast.AST) -> Optional[str]:
+    """The narrow-dtype spelling ``node`` denotes, or ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value if node.value in _NARROW_STRINGS else None
+    name = dotted_name(node)
+    if name is None:
+        return None
+    leaf = name.rsplit(".", 1)[-1]
+    return name if leaf in _NARROW_NAMES else None
+
+
+@register
+class DtypeDisciplineRule(Rule):
+    id = "dtype-discipline"
+    description = (
+        "no float32/float64 mixing: factor and memo buffers stay float64 "
+        "(bit-identical backends; 8-byte traffic accounting)"
+    )
+    paper_ref = "Section IV-C (8-byte element traffic) + DESIGN.md §8"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return any(marker in ctx.posix_path for marker in BUFFER_PATH_MARKERS)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            # any call carrying dtype=<narrow>
+            for kw in node.keywords:
+                if kw.arg == "dtype":
+                    narrow = _narrow_dtype(kw.value)
+                    if narrow:
+                        yield ctx.finding(
+                            self.id,
+                            kw.value,
+                            f"buffer allocated with dtype={narrow}: factor/"
+                            "memo buffers are float64 end-to-end (a mix "
+                            "point upcasts silently and the traffic "
+                            "counters charge 8-byte elements)",
+                        )
+            # x.astype(<narrow>)
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+                and node.args
+            ):
+                narrow = _narrow_dtype(node.args[0])
+                if narrow:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"`{expr_text(node.func.value)}.astype({narrow})` "
+                        "drops to single precision in a buffer module; "
+                        "keep float64 (or suppress with a note on how "
+                        "traffic accounting is adjusted)",
+                    )

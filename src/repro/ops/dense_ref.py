@@ -17,6 +17,11 @@ reproduces the textbook ``Ā^(u) = T_(u) · ⊙_{m≠u} A^(m)``.
 
 from __future__ import annotations
 
+# This module is the deliberately-naive reference path: obvious-by-
+#-inspection kernels the fast implementations are validated against.
+# Hot-path idioms (np.add.at, per-nnz loops) are the point here, not a bug.
+# lint: disable-file=hot-path
+
 from typing import List, Sequence
 
 import numpy as np

@@ -114,9 +114,11 @@ class PartialTensor:
 
     def to_dense(self) -> np.ndarray:
         """Materialize as an ndarray of shape ``shape + (R,)`` (tests only)."""
-        out = np.zeros(tuple(self.shape) + (self.rank,))
-        np.add.at(out, tuple(self.indices), self.data)
-        return out
+        out = np.zeros((int(np.prod(self.shape, dtype=np.int64)), self.rank))
+        if self.num_fibers:
+            flat = np.ravel_multi_index(tuple(self.indices), self.shape)
+            _scatter_rows(out, flat, self.data)
+        return out.reshape(tuple(self.shape) + (self.rank,))
 
 
 def ttm_last_mode(

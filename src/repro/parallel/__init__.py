@@ -3,7 +3,7 @@
 from .machine import AMD_TR_64, INTEL_CLX_18, MACHINES, MachineSpec
 from .counters import NULL_COUNTER, ShardedTrafficCounter, TrafficCounter
 from .partition import ThreadPartition, nnz_partition, slice_partition
-from .executor import ReplicatedArray, SimulatedPool, run_partitioned
+from .executor import ReplicatedArray, SimulatedPool, run_partitioned, sanitizer_enabled
 
 __all__ = [
     "MachineSpec",
@@ -19,4 +19,5 @@ __all__ = [
     "ReplicatedArray",
     "SimulatedPool",
     "run_partitioned",
+    "sanitizer_enabled",
 ]

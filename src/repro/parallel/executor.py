@@ -19,12 +19,29 @@ vectorized slice-adds.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Sequence, Tuple, TypeVar
+from typing import Callable, List, Tuple, TypeVar
 
 import numpy as np
+from numpy.typing import DTypeLike
 
-__all__ = ["SimulatedPool", "ReplicatedArray"]
+__all__ = ["SimulatedPool", "ReplicatedArray", "sanitizer_enabled"]
+
+
+def sanitizer_enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` requests the runtime race sanitizer.
+
+    With the sanitizer on, every :meth:`ReplicatedArray.view` checks its
+    *buffer-slot* range against every range recorded by **other** threads
+    since the last reset and raises on overlap — a cross-thread overlap
+    in buffer coordinates is a genuine write race that the thread-id
+    shift was supposed to make impossible.  Legal boundary-node sharing
+    (adjacent threads overlapping by one node in *node* coordinates)
+    stays disjoint after the shift and passes.  Off by default: the check
+    is O(views²) per kernel invocation.
+    """
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
 
 T = TypeVar("T")
 
@@ -85,7 +102,7 @@ class ReplicatedArray:
     """
 
     def __init__(
-        self, n_rows: int, rank: int, num_threads: int, dtype=np.float64
+        self, n_rows: int, rank: int, num_threads: int, dtype: DTypeLike = np.float64
     ) -> None:
         if n_rows < 0 or rank < 1 or num_threads < 1:
             raise ValueError("invalid ReplicatedArray dimensions")
@@ -96,6 +113,10 @@ class ReplicatedArray:
         # Per-thread written node ranges (inclusive lo, exclusive hi),
         # recorded by view() and consumed by merge().
         self._ranges: List[Tuple[int, int, int]] = []
+        # Sampled once at construction: the runtime race sanitizer
+        # (REPRO_SANITIZE=1) cross-checks every view against other
+        # threads' recorded buffer slots.
+        self._sanitize = sanitizer_enabled()
 
     @property
     def nbytes(self) -> int:
@@ -113,6 +134,11 @@ class ReplicatedArray:
             If the range is out of bounds, the thread id is invalid, or
             the range overlaps one this thread already recorded since the
             last :meth:`reset` (which would double-merge those rows).
+            With ``REPRO_SANITIZE=1`` additionally raises when the view's
+            *buffer slots* ``[lo+th, hi+th)`` overlap slots recorded by a
+            different thread — a genuine cross-thread write race that the
+            thread-id shift should have made impossible (legal
+            boundary-node sharing stays slot-disjoint and passes).
         """
         if not 0 <= th < self.num_threads:
             raise ValueError(f"thread id {th} out of range")
@@ -125,6 +151,21 @@ class ReplicatedArray:
                         f"thread {th} view [{lo}, {hi}) overlaps its earlier "
                         f"view [{a}, {b}); call reset() between kernel "
                         "invocations"
+                    )
+                if (
+                    self._sanitize
+                    and t_prev != th
+                    and a + t_prev < hi + th
+                    and lo + th < b + t_prev
+                ):
+                    raise ValueError(
+                        f"REPRO_SANITIZE: thread {th} view [{lo}, {hi}) "
+                        f"(buffer slots [{lo + th}, {hi + th})) overlaps "
+                        f"thread {t_prev} view [{a}, {b}) (buffer slots "
+                        f"[{a + t_prev}, {b + t_prev})): cross-thread write "
+                        "race — per-thread node ranges must be "
+                        "non-decreasing and share at most one boundary node "
+                        "between adjacent threads"
                     )
             self._ranges.append((th, lo, hi))
         return self.buffer[lo + th : hi + th]

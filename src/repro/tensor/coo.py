@@ -184,9 +184,14 @@ class CooTensor:
             raise MemoryError(
                 f"refusing to densify a tensor with {size} dense entries"
             )
-        out = np.zeros(self.shape, dtype=np.float64)
-        np.add.at(out, tuple(self.indices), self.values)
-        return out
+        if self.nnz == 0:
+            return np.zeros(self.shape, dtype=np.float64)
+        # Duplicate-safe scatter via bincount on the raveled coordinates —
+        # the segmented-reduce idiom of repro.core.csf_kernels, orders of
+        # magnitude faster than the per-element np.add.at it replaced.
+        flat = np.ravel_multi_index(tuple(self.indices), self.shape)
+        out = np.bincount(flat, weights=self.values, minlength=size)
+        return out.reshape(self.shape)
 
     @classmethod
     def from_dense(cls, array: np.ndarray, *, tol: float = 0.0) -> "CooTensor":

@@ -1,0 +1,2 @@
+# Intentionally-buggy fixture modules for tests/test_lint.py.
+# Each file violates exactly one lint rule; none of them are imported.

@@ -1,0 +1,11 @@
+"""Fixture: counter-category violations (never imported, AST-only).
+
+One invented category string, one category that is not a literal.
+Both charges run on the coordinator (no thread body), so only the
+counter-category rule fires.
+"""
+
+
+def account(counter, kind):
+    counter.read(8.0, "fibres")  # not in CANONICAL_TRAFFIC_CATEGORIES
+    counter.write(4.0, category=kind)  # not statically auditable

@@ -1,0 +1,13 @@
+"""Fixture: dtype-discipline violations (never imported, AST-only).
+
+Lives under ``lint_fixtures/ops/`` so the path-scoped dtype rule
+applies.  One narrow allocation, one narrow cast.
+"""
+
+import numpy as np
+
+
+def make_buffers(n, rank, values):
+    out = np.zeros((n, rank), dtype=np.float32)  # narrow allocation
+    small = values.astype("float32")  # narrow cast
+    return out, small

@@ -1,0 +1,18 @@
+"""Fixture: hot-path violations (never imported, AST-only).
+
+Lives under ``lint_fixtures/ops/`` so the path-scoped hot-path rule
+applies.  One instance of each flagged idiom.
+"""
+
+import numpy as np
+
+
+def slow_scatter(out, idx, rows, tensor):
+    np.add.at(out, idx, rows)  # buffered per-element scatter
+    flat = rows.flatten()  # always-copy (use .ravel())
+    acc = np.zeros(0)
+    for _ in range(4):
+        acc = np.concatenate([acc, flat])  # quadratic grow-in-loop
+    for entry in tensor.iter_entries():  # per-non-zero interpretation
+        acc[0] += entry[0]
+    return acc

@@ -1,0 +1,12 @@
+"""Fixture: a real violation silenced by a line suppression.
+
+Linting this file must exit 0 with exactly one suppressed finding.
+"""
+
+
+def run(pool, counter):
+    def body(th):
+        counter.flop(1.0)  # lint: disable=thread-body-safety
+        return th
+
+    return pool.map(body)

@@ -1,0 +1,16 @@
+"""Fixture: thread-body-safety violations (never imported, AST-only).
+
+The body below commits the three sins the rule polices: charging a
+shared counter, running coordinator lifecycle from a thread, and writing
+closure/instance state.
+"""
+
+
+def run(pool, counter, rep, state):
+    def body(th):
+        counter.read(8.0, "structure")  # shared-counter charge
+        rep.merge()  # coordinator-only lifecycle
+        state.total = th  # closure attribute store
+        return th
+
+    return pool.map(body)

@@ -1,0 +1,344 @@
+"""Tests for :mod:`repro.lint` — the kernel-invariant static analyzer.
+
+Covers the framework (registry, suppressions, reporters, exit codes),
+each rule against a dedicated fixture, the clean-tree guarantee on the
+shipped ``src/`` tree, and the acceptance scenario from the issue:
+moving a counter charge or a ``merge()`` into a thread body in a scratch
+copy of a real kernel module must be caught.
+"""
+
+import io
+import json
+import re
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    FileContext,
+    all_rules,
+    format_json,
+    format_text,
+    get_rule,
+    main as lint_main,
+    run_lint,
+)
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+RULE_IDS = {
+    "thread-body-safety",
+    "counter-category",
+    "hot-path",
+    "dtype-discipline",
+}
+
+
+class TestFramework:
+    def test_all_four_rule_families_registered(self):
+        assert {r.id for r in all_rules()} >= RULE_IDS
+
+    def test_get_rule_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown rule"):
+            get_rule("no-such-rule")
+
+    def test_rules_carry_paper_refs(self):
+        for rule in all_rules():
+            assert rule.description
+            assert rule.paper_ref
+
+    def test_finding_format_is_stable(self):
+        report = run_lint([str(FIXTURES / "counter_bad.py")])
+        line = report.findings[0].format()
+        assert re.match(r"^.*counter_bad\.py:\d+:\d+: \[counter-category\] ", line)
+
+    def test_syntax_error_exits_2(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        report = run_lint([str(bad)])
+        assert report.exit_code == EXIT_ERROR
+        assert report.errors and "broken.py" in report.errors[0].path
+
+    def test_missing_path_exits_2(self):
+        report = run_lint([str(REPO / "no" / "such" / "dir")])
+        assert report.exit_code == EXIT_ERROR
+
+    def test_reporters_agree_with_exit_code(self):
+        report = run_lint([str(FIXTURES / "counter_bad.py")])
+        assert report.exit_code == EXIT_FINDINGS
+        assert "finding(s)" in format_text(report)
+        payload = json.loads(format_json(report))
+        assert payload["exit_code"] == EXIT_FINDINGS
+        assert {f["rule"] for f in payload["findings"]} == {"counter-category"}
+
+
+class TestRuleFixtures:
+    """Each fixture file violates exactly one rule family."""
+
+    CASES = [
+        ("thread_body_bad.py", "thread-body-safety", 3),
+        ("counter_bad.py", "counter-category", 2),
+        ("ops/hot_path_bad.py", "hot-path", 4),
+        ("ops/dtype_bad.py", "dtype-discipline", 2),
+    ]
+
+    @pytest.mark.parametrize("fixture,rule_id,count", CASES)
+    def test_fixture_trips_exactly_its_rule(self, fixture, rule_id, count):
+        report = run_lint([str(FIXTURES / fixture)])
+        assert report.exit_code == EXIT_FINDINGS
+        assert {f.rule for f in report.findings} == {rule_id}
+        assert len(report.findings) == count
+
+    @pytest.mark.parametrize("fixture,rule_id,count", CASES)
+    def test_select_narrows_to_one_rule(self, fixture, rule_id, count):
+        report = run_lint([str(FIXTURES / fixture)], select=[rule_id])
+        assert len(report.findings) == count
+        other = (RULE_IDS - {rule_id}).pop()
+        report = run_lint([str(FIXTURES / fixture)], select=[other])
+        assert report.exit_code == EXIT_CLEAN
+
+
+class TestSuppressions:
+    def test_shipped_suppressed_fixture_is_clean(self):
+        report = run_lint([str(FIXTURES / "suppressed_ok.py")])
+        assert report.exit_code == EXIT_CLEAN
+        assert report.suppressed == 1
+
+    def test_line_suppression_round_trip(self, tmp_path):
+        src = textwrap.dedent(
+            """\
+            def run(pool, counter):
+                def body(th):
+                    counter.flop(1.0)
+                    return th
+                return pool.map(body)
+            """
+        )
+        mod = tmp_path / "mod.py"
+        mod.write_text(src)
+        report = run_lint([str(mod)])
+        assert report.exit_code == EXIT_FINDINGS
+        line = report.findings[0].line
+
+        lines = src.splitlines()
+        lines[line - 1] += "  # lint: disable=thread-body-safety"
+        mod.write_text("\n".join(lines) + "\n")
+        report = run_lint([str(mod)])
+        assert report.exit_code == EXIT_CLEAN
+        assert report.suppressed == 1
+
+    def test_file_level_suppression(self, tmp_path):
+        scoped = tmp_path / "lint_fixtures" / "ops"
+        scoped.mkdir(parents=True)
+        mod = scoped / "mod.py"
+        mod.write_text(
+            "import numpy as np\n"
+            "def f(out, idx, rows):\n"
+            "    np.add.at(out, idx, rows)\n"
+        )
+        assert run_lint([str(mod)]).exit_code == EXIT_FINDINGS
+        mod.write_text("# lint: disable-file=hot-path\n" + mod.read_text())
+        report = run_lint([str(mod)])
+        assert report.exit_code == EXIT_CLEAN
+        assert report.suppressed == 1
+
+    def test_disable_all(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            "# lint: disable-file=all\n"
+            "def run(pool, counter):\n"
+            "    def body(th):\n"
+            "        counter.flop(1.0)\n"
+            "        return th\n"
+            "    return pool.map(body)\n"
+        )
+        report = run_lint([str(mod)])
+        assert report.exit_code == EXIT_CLEAN
+        assert report.suppressed == 1
+
+    def test_suppression_is_rule_specific(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            "def run(pool, counter):\n"
+            "    def body(th):\n"
+            "        counter.flop(1.0)  # lint: disable=hot-path\n"
+            "        return th\n"
+            "    return pool.map(body)\n"
+        )
+        assert run_lint([str(mod)]).exit_code == EXIT_FINDINGS
+
+
+class TestCleanTree:
+    def test_shipped_src_tree_is_clean(self):
+        report = run_lint([str(REPO / "src")])
+        assert report.errors == []
+        assert report.findings == [], format_text(report)
+        assert report.exit_code == EXIT_CLEAN
+        assert report.files_checked > 50
+
+    def test_fixture_dir_is_dirty_by_design(self):
+        report = run_lint([str(FIXTURES)])
+        assert report.exit_code == EXIT_FINDINGS
+        assert {f.rule for f in report.findings} == RULE_IDS
+
+
+class TestAcceptanceScenario:
+    """Issue acceptance: inject a violation into a scratch copy of the
+    real engine module and the analyzer must catch it."""
+
+    def _scratch_copy(self, tmp_path, mutate):
+        src = (REPO / "src" / "repro" / "core" / "mttkrp.py").read_text()
+        m = re.search(r"^(\s*)def body\(th.*:\n", src, flags=re.M)
+        assert m, "mttkrp.py no longer defines a thread body?"
+        indent = m.group(1) + "    "
+        injected = src[: m.end()] + indent + mutate + "\n" + src[m.end() :]
+        scratch = tmp_path / "mttkrp_scratch.py"
+        scratch.write_text(injected)
+        return scratch
+
+    def test_baseline_engine_module_is_clean(self):
+        report = run_lint([str(REPO / "src" / "repro" / "core" / "mttkrp.py")])
+        assert report.exit_code == EXIT_CLEAN
+
+    def test_counter_charge_in_thread_body_is_caught(self, tmp_path):
+        scratch = self._scratch_copy(
+            tmp_path, 'self.counter.read(1.0, "structure")'
+        )
+        report = run_lint([str(scratch)], select=["thread-body-safety"])
+        assert report.exit_code == EXIT_FINDINGS
+        assert any("shard" in f.message for f in report.findings)
+
+    def test_merge_in_thread_body_is_caught(self, tmp_path):
+        scratch = self._scratch_copy(tmp_path, "self.replicated.merge()")
+        report = run_lint([str(scratch)], select=["thread-body-safety"])
+        assert report.exit_code == EXIT_FINDINGS
+        assert any("coordinator-only" in f.message for f in report.findings)
+
+
+class TestCli:
+    def test_module_main_text(self):
+        out = io.StringIO()
+        code = lint_main([str(FIXTURES / "counter_bad.py")], out)
+        assert code == EXIT_FINDINGS
+        assert "[counter-category]" in out.getvalue()
+
+    def test_module_main_json(self):
+        out = io.StringIO()
+        code = lint_main(
+            ["--format", "json", str(FIXTURES / "ops" / "dtype_bad.py")], out
+        )
+        assert code == EXIT_FINDINGS
+        payload = json.loads(out.getvalue())
+        assert payload["exit_code"] == EXIT_FINDINGS
+
+    def test_module_main_clean_src(self):
+        out = io.StringIO()
+        assert lint_main([str(REPO / "src")], out) == EXIT_CLEAN
+        assert "0 finding(s)" in out.getvalue()
+
+    def test_list_rules(self):
+        out = io.StringIO()
+        assert lint_main(["--list-rules"], out) == EXIT_CLEAN
+        for rid in RULE_IDS:
+            assert rid in out.getvalue()
+
+    def test_unknown_select_exits_2(self):
+        out = io.StringIO()
+        code = lint_main(["--select", "bogus", str(REPO / "src")], out)
+        assert code == EXIT_ERROR
+        assert "unknown rule" in out.getvalue()
+
+    def test_repro_subcommand(self):
+        out = io.StringIO()
+        code = repro_main(["lint", str(FIXTURES / "thread_body_bad.py")], out)
+        assert code == EXIT_FINDINGS
+        assert "[thread-body-safety]" in out.getvalue()
+
+
+class TestNoFalsePositives:
+    """Idioms the shipped kernels rely on must stay clean."""
+
+    def _check(self, source, rule_id, path="mod.py"):
+        ctx = FileContext(Path(path), textwrap.dedent(source))
+        rule = get_rule(rule_id)
+        assert rule.applies_to(ctx) or path == "mod.py"
+        return list(rule.check(ctx))
+
+    def test_shard_charges_are_fine(self):
+        findings = self._check(
+            """\
+            def run(pool, shards, rep):
+                def body(th):
+                    shard = shards.shard(th)
+                    shard.read(4.0, "structure")
+                    shards.shard(th).flop(2.0)
+                    out = rep.view(th, 0, 4)
+                    out[:] = th
+                    local = {}
+                    local["x"] = th
+                    return th
+                return pool.map(body)
+            """,
+            "thread-body-safety",
+        )
+        assert findings == []
+
+    def test_two_arg_executor_map_is_not_a_thread_body(self):
+        findings = self._check(
+            """\
+            def run(pool, counter, items):
+                def body(item):
+                    counter.read(1.0, "structure")
+                return list(pool.map(body, items))
+            """,
+            "thread-body-safety",
+        )
+        assert findings == []
+
+    def test_file_read_is_not_a_charge(self):
+        findings = self._check(
+            """\
+            def load(path, counter):
+                with open(path) as fh:
+                    data = fh.read()
+                counter.read(8.0, "structure")
+                return data
+            """,
+            "counter-category",
+        )
+        assert findings == []
+
+    def test_hot_path_rule_is_path_scoped(self):
+        ctx = FileContext(
+            Path("/somewhere/repro/analysis/report.py"),
+            "import numpy as np\n",
+        )
+        assert not get_rule("hot-path").applies_to(ctx)
+        ctx = FileContext(
+            Path("/somewhere/repro/ops/krp.py"), "import numpy as np\n"
+        )
+        assert get_rule("hot-path").applies_to(ctx)
+
+    def test_concatenate_outside_loop_is_fine(self):
+        ctx = FileContext(
+            Path("/x/repro/ops/mod.py"),
+            "import numpy as np\n"
+            "def join(parts):\n"
+            "    return np.concatenate(parts)\n",
+        )
+        assert list(get_rule("hot-path").check(ctx)) == []
+
+    def test_float64_dtype_is_fine(self):
+        ctx = FileContext(
+            Path("/x/repro/core/mod.py"),
+            "import numpy as np\n"
+            "def alloc(n):\n"
+            "    return np.zeros(n, dtype=np.float64)\n",
+        )
+        assert list(get_rule("dtype-discipline").check(ctx)) == []
