@@ -1,21 +1,24 @@
 #!/usr/bin/env python
-"""Serial-vs-threads equivalence stress driver.
+"""Serial-vs-concurrent equivalence stress driver.
 
 Sweeps a grid of (seed, thread-count, memo-plan) combinations over random
 tensors and asserts, for every MTTKRP of every combination:
 
 * **bit-identical outputs** — ``np.array_equal`` between the ``serial``
-  and ``threads`` execution backends (not ``allclose``: the replicated
-  scatter scheme fixes the reduction order, so equality must be exact);
+  execution backend and the backend under test (``threads`` or
+  ``processes``; not ``allclose``: the replicated scatter scheme fixes
+  the reduction order, so equality must be exact);
 * **exactly equal traffic** — the merged per-thread counter shards
   produce the same snapshot (reads / writes / flops / every category)
   as the deterministic serial run.
 
-Any drift means a data race or a lost counter update.  Runs the same
-invariants as ``tests/test_threads_stress.py`` but at configurable scale
-— CI uses ``--seeds 5 --threads 2 4 8 --nnz 2000``::
+Any drift means a data race, a lost counter update, or (under
+``processes``) a stale shared-memory slot.  Runs the same invariants as
+``tests/test_threads_stress.py`` but at configurable scale — CI uses
+``--seeds 5 --threads 2 4 8 --nnz 2000`` once per backend::
 
-    python scripts/stress_threads.py [--seeds N] [--threads T ...]
+    python scripts/stress_threads.py [--backend {threads,processes}]
+                                     [--seeds N] [--threads T ...]
                                      [--nnz NNZ] [--rank R] [--iters K]
 """
 
@@ -42,14 +45,20 @@ def run_once(csf, factors, rank, threads, backend, plan, iters):
         csf, rank, plan=plan, num_threads=threads,
         backend=backend, counter=counter,
     )
-    outs = []
-    for _ in range(iters):
-        outs = [res.copy() for _, res in engine.iteration_results(factors)]
-    return outs, counter.snapshot()
+    try:
+        outs = []
+        for _ in range(iters):
+            outs = [res.copy() for _, res in engine.iteration_results(factors)]
+        return outs, counter.snapshot()
+    finally:
+        engine.close()
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", choices=("threads", "processes"),
+                        default="threads",
+                        help="concurrent backend compared against serial")
     parser.add_argument("--seeds", type=int, default=5,
                         help="number of random tensors per shape")
     parser.add_argument("--threads", type=int, nargs="+", default=[2, 4, 8])
@@ -78,7 +87,7 @@ def main() -> int:
                     args.iters,
                 )
                 t_out, t_snap = run_once(
-                    csf, factors, args.rank, threads, "threads", plan,
+                    csf, factors, args.rank, threads, args.backend, plan,
                     args.iters,
                 )
                 bad = []
@@ -104,7 +113,7 @@ def main() -> int:
                     print(f"ok   {tag}  traffic={t_snap['total']:.0f}")
     print(
         f"\n{combos - failures}/{combos} combinations bit-identical "
-        f"(serial == threads, outputs and traffic)"
+        f"(serial == {args.backend}, outputs and traffic)"
     )
     if combos == 0:
         print("error: no combinations ran (check --seeds/--threads)")

@@ -22,16 +22,18 @@ more scheduling overhead), large chunks the static slice deal.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.csf_kernels import scatter_add_rows, thread_upward_sweep
 from ..core.memoization import SAVE_NONE
 from ..core.mttkrp import MemoizedMttkrp
+from ..core.proc_tasks import counter_state, merge_counter_state
 from ..parallel.counters import NULL_COUNTER, ShardedTrafficCounter, TrafficCounter
 from ..parallel.executor import SimulatedPool
 from ..parallel.machine import MachineSpec
+from ..parallel.shm import SharedArena, ShmToken, attach
 from ..tensor.coo import CooTensor
 from ..tensor.csf import CsfTensor
 
@@ -39,6 +41,61 @@ __all__ = ["TacoBackend"]
 
 #: Chunk-size grid the tuner explores (root slices per task).
 CHUNK_GRID = (8, 64, 512, 4096)
+
+
+def _charge_chunk(
+    shard: TrafficCounter, csf: CsfTensor, s_lo: int, s_hi: int, rank: int
+) -> None:
+    """Per-thread legs of one slice chunk: structure walk and contraction
+    arithmetic of the chunk's subtree.  Chunk boundaries are
+    slice-aligned, so the per-level node spans tile every level exactly
+    and the merged totals match the single-counter tallies.  Shared by
+    the closure body and the process task."""
+    a, b = s_lo, s_hi
+    nodes = b - a
+    children = 0
+    for j in range(csf.ndim - 1):
+        a, b = int(csf.ptr[j][a]), int(csf.ptr[j][b])
+        nodes += b - a
+        children += b - a
+    shard.read(2.0 * nodes, "structure")
+    shard.flop(2.0 * rank * children, "sweep")
+
+
+def _taco_sweep_task(
+    payload: Dict[str, Any]
+) -> Tuple[List[Tuple[int, np.ndarray]], tuple]:
+    """Process-worker body of one thread's round-robin chunk deal:
+    identical sweeps on the shared CSF, chunk partials returned in deal
+    order so the coordinator accumulates exactly like the serial path."""
+    ctx, th = payload["ctx"], payload["th"]
+    spec = ctx["csf"]
+    csf = CsfTensor(
+        spec["mode_order"],
+        [attach(t) for t in spec["idx"]],
+        [attach(t) for t in spec["ptr"]],
+        attach(spec["values"]),
+        spec["shape"],
+        spec["fiber_counts"],
+    )
+    lf = [attach(ctx["factors"][m]) for m in csf.mode_order]
+    counter = TrafficCounter(
+        cache_elements=ctx["cache_elements"], enabled=ctx["enabled"]
+    )
+    tasks, pool_t = ctx["tasks"], ctx["pool_t"]
+    results: List[Tuple[int, np.ndarray]] = []
+    for ti in range(th, len(tasks), pool_t):
+        s_lo, s_hi = tasks[ti]
+        leaf_lo, _ = csf.leaf_span(0, s_lo) if s_hi > s_lo else (0, 0)
+        if s_hi > s_lo:
+            _, leaf_hi = csf.leaf_span(0, s_hi - 1)
+        else:
+            leaf_hi = leaf_lo
+        if ctx["charge"]:
+            _charge_chunk(counter, csf, s_lo, s_hi, ctx["rank"])
+        res = thread_upward_sweep(csf, lf, leaf_lo, leaf_hi, stop_level=0)
+        results.append(res[0])
+    return results, counter_state(counter)
 
 
 class TacoBackend:
@@ -76,6 +133,14 @@ class TacoBackend:
             self.csfs.append(CsfTensor.from_coo(tensor, (mode, *rest)))
         self.chunk_slices = CHUNK_GRID[-1]
         self.tuning_seconds = 0.0
+        # Shared-memory state for the processes backend: per-mode CSFs are
+        # shared lazily (first sweep of that mode); factor slots refreshed
+        # in place before every dispatch.
+        self._arena: Optional[SharedArena] = None
+        self._csf_tokens: Dict[int, Dict[str, Any]] = {}
+        self._factor_tokens: Optional[List[ShmToken]] = None
+        if self.pool.backend == "processes":
+            self._arena = SharedArena()
         if autotune:
             self.autotune()
 
@@ -128,42 +193,41 @@ class TacoBackend:
         if charge:
             self.shards.reset()
 
-        def charge_chunk(shard: TrafficCounter, s_lo: int, s_hi: int) -> None:
-            # Per-thread legs: structure walk and contraction arithmetic
-            # of the chunk's subtree.  Chunk boundaries are slice-aligned,
-            # so the per-level node spans tile every level exactly and the
-            # merged totals match the single-counter tallies.
-            a, b = s_lo, s_hi
-            nodes = b - a
-            children = 0
-            for j in range(d - 1):
-                a, b = int(csf.ptr[j][a]), int(csf.ptr[j][b])
-                nodes += b - a
-                children += b - a
-            shard.read(2.0 * nodes, "structure")
-            shard.flop(2.0 * rank * children, "sweep")
-
-        def body(th: int) -> List[Tuple[int, np.ndarray]]:
-            results = []
-            shard = self.shards.shard(th)
-            # Tasks dealt round-robin: the dynamic-ish schedule chunking
-            # buys TACO its balance edge over a static slice deal.
-            for ti in range(th, n_tasks, pool_t):
-                s_lo, s_hi = tasks[ti]
-                leaf_lo, _ = csf.leaf_span(0, s_lo) if s_hi > s_lo else (0, 0)
-                if s_hi > s_lo:
-                    _, leaf_hi = csf.leaf_span(0, s_hi - 1)
-                else:
-                    leaf_hi = leaf_lo
+        if self._arena is not None:
+            ctx = self._proc_ctx(mode, factors, charge)
+            results = self.pool.run_tasks(
+                _taco_sweep_task, [{"ctx": ctx, "th": th} for th in range(pool_t)]
+            )
+            for th, (chunk_results, traffic) in enumerate(results):
                 if charge:
-                    charge_chunk(shard, s_lo, s_hi)
-                res = thread_upward_sweep(csf, lf, leaf_lo, leaf_hi, stop_level=0)
-                results.append(res[0])
-            return results
+                    merge_counter_state(self.shards.shard(th), traffic)
+                for nlo, tp in chunk_results:
+                    out[csf.idx[0][nlo : nlo + tp.shape[0]]] += tp
+        else:
 
-        for chunk_results in self.pool.map(body):
-            for nlo, tp in chunk_results:
-                out[csf.idx[0][nlo : nlo + tp.shape[0]]] += tp
+            def body(th: int) -> List[Tuple[int, np.ndarray]]:
+                results = []
+                shard = self.shards.shard(th)
+                # Tasks dealt round-robin: the dynamic-ish schedule
+                # chunking buys TACO its balance edge over a static deal.
+                for ti in range(th, n_tasks, pool_t):
+                    s_lo, s_hi = tasks[ti]
+                    leaf_lo, _ = csf.leaf_span(0, s_lo) if s_hi > s_lo else (0, 0)
+                    if s_hi > s_lo:
+                        _, leaf_hi = csf.leaf_span(0, s_hi - 1)
+                    else:
+                        leaf_hi = leaf_lo
+                    if charge:
+                        _charge_chunk(shard, csf, s_lo, s_hi, rank)
+                    res = thread_upward_sweep(
+                        csf, lf, leaf_lo, leaf_hi, stop_level=0
+                    )
+                    results.append(res[0])
+                return results
+
+            for chunk_results in self.pool.map(body):
+                for nlo, tp in chunk_results:
+                    out[csf.idx[0][nlo : nlo + tp.shape[0]]] += tp
 
         if charge:
             # Kernel-level legs on the coordinator: cache-rule factor
@@ -176,6 +240,57 @@ class TacoBackend:
                 )
             self.counter.write(csf.level_shape(0) * rank, "output")
         return out
+
+    def _csf_spec(self, mode: int) -> Dict[str, Any]:
+        """Token spec of mode ``mode``'s CSF, shared on first use."""
+        spec = self._csf_tokens.get(mode)
+        if spec is None:
+            arena = self._arena
+            assert arena is not None
+            csf = self.csfs[mode]
+            spec = {
+                "mode_order": csf.mode_order,
+                "shape": csf.shape,
+                "fiber_counts": csf.fiber_counts,
+                "idx": [arena.share(a) for a in csf.idx],
+                "ptr": [arena.share(p) for p in csf.ptr],
+                "values": arena.share(csf.values),
+            }
+            self._csf_tokens[mode] = spec
+        return spec
+
+    def _proc_ctx(
+        self, mode: int, factors: Sequence[np.ndarray], charge: bool
+    ) -> Dict[str, Any]:
+        """Refresh the factor slots and build the shared task context.
+        Factor slots are keyed by *original* mode number; workers reorder
+        to CSF levels via the spec's ``mode_order``."""
+        arena = self._arena
+        assert arena is not None
+        fs = [np.ascontiguousarray(np.asarray(f)) for f in factors]
+        if self._factor_tokens is None or any(
+            t.shape != f.shape or np.dtype(t.dtype) != f.dtype
+            for t, f in zip(self._factor_tokens, fs)
+        ):
+            self._factor_tokens = [arena.zeros(f.shape, f.dtype) for f in fs]
+        for t, f in zip(self._factor_tokens, fs):
+            arena.array(t)[...] = f
+        return {
+            "csf": self._csf_spec(mode),
+            "factors": self._factor_tokens,
+            "tasks": self._task_bounds(self.csfs[mode]),
+            "pool_t": self.pool.num_threads,
+            "rank": self.rank,
+            "charge": charge,
+            "cache_elements": self.counter.cache_elements,
+            "enabled": self.counter.enabled,
+        }
+
+    def close(self) -> None:
+        """Release the processes backend's shared segments (no-op else)."""
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
 
     # ------------------------------------------------------------------
     def mttkrp_level(self, factors: Sequence[np.ndarray], level: int) -> np.ndarray:

@@ -35,6 +35,7 @@ from .baselines import ALL_BACKENDS
 from .core import plan_decomposition
 from .cpd import cp_als
 from .parallel import MACHINES
+from .parallel.executor import EXEC_BACKENDS
 from .tensor import (
     TABLE1_SPECS,
     CooTensor,
@@ -89,10 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="MTTKRP method (default stef)",
         )
         p.add_argument(
-            "--exec-backend", choices=["serial", "threads"], default="serial",
+            "--exec-backend", choices=list(EXEC_BACKENDS), default="serial",
             dest="exec_backend",
-            help="simulated-pool execution: deterministic serial order or "
-            "a real thread pool (results are identical either way)",
+            help="pool execution: deterministic serial order, a real "
+            "thread pool, or a persistent shared-memory process pool "
+            "(results are bit-identical across all three; 'processes' is "
+            "the one whose wall-clock scales with cores)",
         )
 
     p_info = sub.add_parser("info", help="storage & sparsity statistics")

@@ -53,6 +53,16 @@ from ..parallel.partition import ThreadPartition, nnz_partition, slice_partition
 from ..tensor.csf import CsfTensor
 from .csf_kernels import scatter_add_rows, thread_downward_k, thread_upward_sweep
 from .memoization import SAVE_NONE, MemoPlan
+from .proc_tasks import (
+    ProcessEngineContext,
+    charge_mode_u,
+    charge_sweep,
+    leaf_task,
+    memo_direct_task,
+    merge_counter_state,
+    mode0_task,
+    recompute_task,
+)
 
 __all__ = ["MemoizedMttkrp"]
 
@@ -74,7 +84,10 @@ class MemoizedMttkrp:
         ``"nnz"`` — Algorithm 3 (default); ``"slice"`` — prior-work
         root-slice distribution (the Fig. 6.1 ablation arm).
     backend:
-        ``"serial"`` (deterministic) or ``"threads"`` (real thread pool).
+        ``"serial"`` (deterministic), ``"threads"`` (real thread pool),
+        or ``"processes"`` (persistent multiprocessing workers over
+        shared-memory segments — bit-identical to ``serial``, scales
+        wall-clock with cores).
     counter:
         Traffic accounting target; defaults to the no-op counter.
     """
@@ -111,6 +124,19 @@ class MemoizedMttkrp:
         # kept level and reset() between kernel invocations so repeated
         # ALS iterations reuse them without double-merge corruption.
         self._reps: Dict[int, ReplicatedArray] = {}
+        # Shared-memory state for the processes backend: the CSF is shared
+        # once here; factor/memo slots are refreshed in place before each
+        # dispatch (see repro.core.proc_tasks).
+        self._proc: Optional[ProcessEngineContext] = None
+        if backend == "processes":
+            self._proc = ProcessEngineContext(
+                csf,
+                rank,
+                self.partition.starts,
+                self.pool.num_threads,
+                counter.cache_elements,
+                counter.enabled,
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -156,33 +182,28 @@ class MemoizedMttkrp:
         structure reads over the thread's owned nodes at every level and
         one fused multiply-add per owned child fiber per rank column.
         Owned counts tile each level exactly, so the merged totals match
-        the serial single-counter tallies for any thread count."""
-        owned = self.partition.owned_counts(th)
-        shard = self.shards.shard(th)
-        shard.read(2.0 * int(owned.sum()), "structure")
-        shard.flop(2.0 * self.rank * int(owned[1:].sum()), "sweep")
+        the serial single-counter tallies for any thread count.
+
+        Delegates to :func:`~repro.core.proc_tasks.charge_sweep` — the
+        same definition process workers charge against, so the backends
+        cannot drift apart in what they tally."""
+        charge_sweep(
+            self.shards.shard(th), self.partition.owned_counts(th), self.rank
+        )
 
     def _charge_thread_mode_u(self, th: int, u: int, source: int) -> None:
         """Per-thread legs of a mode-``u`` kernel: the structure walk down
         to the source data, the memo reads of the thread's node range, and
-        the downward-``k`` / recompute / Hadamard arithmetic."""
-        owned = self.partition.owned_counts(th)
-        shard = self.shards.shard(th)
-        d, rank = self.csf.ndim, self.rank
-        # Downward k sweep: one multiply per owned node per rank column
-        # over the ancestor levels.
-        flops = rank * int(owned[1 : u + 1].sum())
-        if source == d - 1:
-            # Full traversal (values included), recompute from the tensor.
-            shard.read(2.0 * int(owned.sum()), "structure")
-            flops += 2 * rank * int(owned[u + 1 : d].sum())
-        else:
-            shard.read(2.0 * int(owned[:source].sum()), "structure")
-            shard.read(float(int(owned[source]) * rank), "memo")
-            flops += 2 * rank * int(owned[u + 1 : source + 1].sum())
-        # Hadamard + accumulate at the target level.
-        flops += 2 * rank * int(owned[u])
-        shard.flop(flops, "mode-u")
+        the downward-``k`` / recompute / Hadamard arithmetic.  Shared with
+        the process workers via :func:`~repro.core.proc_tasks.charge_mode_u`."""
+        charge_mode_u(
+            self.shards.shard(th),
+            self.partition.owned_counts(th),
+            u,
+            source,
+            self.csf.ndim,
+            self.rank,
+        )
 
     def _charge_factor_reads(self, levels: Sequence[int]) -> None:
         m = self.csf.fiber_counts
@@ -209,19 +230,27 @@ class MemoizedMttkrp:
         keep_levels = sorted(set(self.plan.save_levels) | {0})
         reps = self._replicated_buffers(keep_levels)
 
-        def body(th: int) -> Dict[int, Tuple[int, np.ndarray]]:
-            self._charge_thread_sweep(th)
-            lo, hi = part.leaf_range(th)
-            return thread_upward_sweep(csf, lf, lo, hi, stop_level=0)
+        if self._proc is not None:
+            self._dispatch_mode0(lf, keep_levels, reps)
+        else:
 
-        results = self.pool.map(body)
-        for th, res in enumerate(results):
-            for lvl in keep_levels:
-                nlo, tp = res[lvl]
-                reps[lvl].view(th, nlo, nlo + tp.shape[0])[:] += tp
+            def body(th: int) -> Dict[int, Tuple[int, np.ndarray]]:
+                self._charge_thread_sweep(th)
+                lo, hi = part.leaf_range(th)
+                return thread_upward_sweep(csf, lf, lo, hi, stop_level=0)
+
+            results = self.pool.map(body)
+            for th, res in enumerate(results):
+                for lvl in keep_levels:
+                    nlo, tp = res[lvl]
+                    reps[lvl].view(th, nlo, nlo + tp.shape[0])[:] += tp
 
         for lvl in self.plan.save_levels:
             self.memo[lvl] = reps[lvl].merge()
+            if self._proc is not None:
+                # Keep the shared P^(lvl) slot current for later mode-u
+                # dispatches this iteration.
+                self._proc.refresh_memo(lvl, self.memo[lvl])
         t0 = reps[0].merge()
         out = np.zeros((csf.level_shape(0), rank))
         out[csf.idx[0]] = t0
@@ -241,18 +270,63 @@ class MemoizedMttkrp:
             self.counter.read(size, "memo-allocate")
         return out
 
+    def _dispatch_mode0(
+        self,
+        lf: List[np.ndarray],
+        keep_levels: Sequence[int],
+        reps: Dict[int, ReplicatedArray],
+    ) -> None:
+        """Processes-backend mode-0: workers run the identical upward
+        sweep on the shared CSF and write their kept partials straight
+        into the shm-backed ReplicatedArray stripes; the coordinator
+        records the written ranges (same id order as serial, so
+        :meth:`ReplicatedArray.merge` folds them identically) and folds
+        each worker's traffic back into its shard."""
+        proc = self._proc
+        assert proc is not None
+        proc.refresh_factors(lf)
+        ctx = proc.base_ctx()
+        rep_tokens = {lvl: proc.rep_tokens[lvl] for lvl in keep_levels}
+        payloads = [
+            {
+                "ctx": ctx,
+                "th": th,
+                "keep_levels": tuple(keep_levels),
+                "rep": rep_tokens,
+            }
+            for th in range(self.num_threads)
+        ]
+        results = self.pool.run_tasks(mode0_task, payloads)
+        for th, res in enumerate(results):
+            merge_counter_state(self.shards.shard(th), res["traffic"])
+            for lvl in keep_levels:
+                nlo, nrows = res["ranges"][lvl]
+                # Record the range (lifecycle + sanitizer checks); the
+                # worker already accumulated into these buffer slots.
+                reps[lvl].view(th, nlo, nlo + nrows)
+
     def _replicated_buffers(
         self, keep_levels: Sequence[int]
     ) -> Dict[int, ReplicatedArray]:
         """Reusable boundary-replicated buffers for ``keep_levels`` —
         allocated on first use, ``reset()`` on every later invocation so
-        repeated mode-0 sweeps never merge stale stripes twice."""
+        repeated mode-0 sweeps never merge stale stripes twice.  Under
+        the processes backend the storage is a shared-memory segment that
+        workers write directly."""
         reps: Dict[int, ReplicatedArray] = {}
         for lvl in keep_levels:
             rep = self._reps.get(lvl)
             if rep is None:
+                buffer = (
+                    self._proc.rep_buffer(lvl, self.csf.fiber_counts[lvl])
+                    if self._proc is not None
+                    else None
+                )
                 rep = ReplicatedArray(
-                    self.csf.fiber_counts[lvl], self.rank, self.num_threads
+                    self.csf.fiber_counts[lvl],
+                    self.rank,
+                    self.num_threads,
+                    buffer=buffer,
                 )
                 self._reps[lvl] = rep
             else:
@@ -281,7 +355,9 @@ class MemoizedMttkrp:
         out = np.zeros((csf.level_shape(u), rank))
         self.shards.reset()
 
-        if u == d - 1:
+        if self._proc is not None:
+            contribs = self._proc_mode_u_contribs(lf, u, source)
+        elif u == d - 1:
             contribs = self._leaf_mode_contribs(lf)
         elif source == u:
             contribs = self._memo_direct_contribs(lf, u)
@@ -351,6 +427,40 @@ class MemoizedMttkrp:
 
         return self.pool.map(body)
 
+    def _proc_mode_u_contribs(
+        self, lf: List[np.ndarray], u: int, source: int
+    ) -> List[Tuple[int, np.ndarray]]:
+        """Processes-backend modes ``u > 0``: dispatch the matching
+        module-level task, read each worker's contribution back through
+        its scratch segment (zero-copy) and fold its traffic into the
+        shard.  The coordinator then scatters in thread-id order exactly
+        as the serial path does."""
+        proc = self._proc
+        assert proc is not None
+        proc.refresh_factors(lf)
+        ctx = proc.base_ctx()
+        d = self.csf.ndim
+        ths = range(self.num_threads)
+        if u == d - 1:
+            results = self.pool.run_tasks(
+                leaf_task, [{"ctx": ctx, "th": th} for th in ths]
+            )
+        elif source == u:
+            results = self.pool.run_tasks(
+                memo_direct_task, [{"ctx": ctx, "th": th, "u": u} for th in ths]
+            )
+        else:
+            results = self.pool.run_tasks(
+                recompute_task,
+                [{"ctx": ctx, "th": th, "u": u, "source": source} for th in ths],
+            )
+        contribs: List[Tuple[int, np.ndarray]] = []
+        for th, (kind, nlo, val, traffic) in enumerate(results):
+            merge_counter_state(self.shards.shard(th), traffic)
+            contrib = proc.scratch_view(th, val) if kind == "shm" else val
+            contribs.append((nlo, contrib))
+        return contribs
+
     def _charge_mode_u(self, u: int, source: int) -> None:
         """Kernel-level legs of a mode-``u`` charge (the per-thread legs
         live in :meth:`_charge_thread_mode_u`): the DM_factor cache-rule
@@ -370,6 +480,16 @@ class MemoizedMttkrp:
         self.counter.scatter_update(
             m[u], csf.level_shape(u), rank, self.num_threads, "output"
         )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the shared-memory segments of the processes backend
+        (no-op for the others).  Also triggered by garbage collection;
+        calling it explicitly just makes the release deterministic."""
+        if self._proc is not None:
+            self._reps.clear()
+            self._proc.close()
+            self._proc = None
 
     # ------------------------------------------------------------------
     def iteration_results(

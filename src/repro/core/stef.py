@@ -52,14 +52,20 @@ class Stef:
     partition:
         ``"nnz"`` (Algorithm 3) or ``"slice"`` (prior work, ablation).
     backend:
-        ``"serial"`` or ``"threads"`` simulated-pool execution.
+        ``"serial"``, ``"threads"``, or ``"processes"`` pool execution
+        (see :class:`~repro.parallel.executor.SimulatedPool`).
     counter:
         Traffic accounting target.
 
     Attributes
     ----------
     decision:
-        The full :class:`~repro.core.planner.PlanDecision`.
+        The full :class:`~repro.core.planner.PlanDecision`, or ``None``
+        when both ``plan=`` and ``swap_last_two=`` are forced — a fully
+        overridden configuration never runs the model search, so there
+        is no decision to report (and ``preprocessing_seconds`` stays
+        0.0 instead of charging the ablation arm for a search whose
+        result is discarded).
     preprocessing_seconds:
         Wall time spent on planning (Algorithm 9 + model search) — the
         quantity Fig. 5 compares against one MTTKRP-set execution.
@@ -89,18 +95,28 @@ class Stef:
         base_order = default_mode_order(tensor.shape)
         base_csf = CsfTensor.from_coo(tensor, base_order)
 
-        t0 = time.perf_counter()
-        self.decision: PlanDecision = plan_decomposition(
-            base_csf, rank, machine, consider_swap=tensor.ndim >= 3
-        )
-        self.preprocessing_seconds = time.perf_counter() - t0
-
-        swap = (
-            self.decision.swap_last_two if swap_last_two is None else swap_last_two
-        )
-        chosen_plan = (
-            self.decision.best_with_swap(swap).plan if plan is None else plan
-        )
+        self.decision: Optional[PlanDecision] = None
+        if plan is not None and swap_last_two is not None:
+            # Fully overridden (ablation arms): the model search's result
+            # would be discarded, and its wall time would skew the Fig. 5/6
+            # preprocessing comparison — skip it.
+            self.preprocessing_seconds = 0.0
+            swap = swap_last_two
+            chosen_plan = plan
+        else:
+            t0 = time.perf_counter()
+            self.decision = plan_decomposition(
+                base_csf, rank, machine, consider_swap=tensor.ndim >= 3
+            )
+            self.preprocessing_seconds = time.perf_counter() - t0
+            swap = (
+                self.decision.swap_last_two
+                if swap_last_two is None
+                else swap_last_two
+            )
+            chosen_plan = (
+                self.decision.best_with_swap(swap).plan if plan is None else plan
+            )
         chosen_plan.validate(tensor.ndim)
 
         self.csf = base_csf.swapped_last_two() if swap else base_csf
@@ -156,6 +172,10 @@ class Stef:
         """Most recent kernel's per-thread traffic totals (the sharded
         counter's observability channel)."""
         return self.engine.shards.per_thread_totals()
+
+    def close(self) -> None:
+        """Release engine resources (shared memory under ``processes``)."""
+        self.engine.close()
 
     def decompose(self, **als_kwargs):
         """Run CPD-ALS with this backend (convenience wrapper around

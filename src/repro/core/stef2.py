@@ -96,6 +96,11 @@ class Stef2(Stef):
             return self.engine2.level_load_factor(0)
         return self.engine.level_load_factor(level)
 
+    def close(self) -> None:
+        """Release both engines' resources."""
+        super().close()
+        self.engine2.close()
+
     def extra_csf_bytes(self) -> int:
         """Footprint of the second tensor copy (the cost STeF2 pays)."""
         return self.csf2.total_bytes()

@@ -40,6 +40,10 @@ class AlsResult:
 
     ``fits[i]`` is the fit after iteration ``i+1``; ``converged`` is True
     when the tolerance test (not the iteration cap) ended the run.
+    ``iterations`` is *cumulative* across resumes — it counts every
+    iteration that produced the model, matching the checkpoint's
+    ``iteration`` field; ``len(seconds_per_iteration)`` gives just this
+    run's share.
     """
 
     model: KruskalTensor
@@ -142,7 +146,10 @@ def cp_als(
         big tensors survive interruption).
     resume:
         With ``checkpoint_path`` set and the file present, continue from
-        the checkpointed factors and iteration count instead of ``init``.
+        the checkpointed factors, weights, and iteration count instead of
+        ``init``.  Resuming a run that already reached ``max_iters``
+        returns the checkpointed model untouched and leaves the
+        checkpoint file as it was.
     """
     if backend is None:
         from ..core.stef import Stef
@@ -151,6 +158,7 @@ def cp_als(
 
     start_iter = 0
     factors: Optional[List[np.ndarray]] = None
+    resumed_lambdas: Optional[np.ndarray] = None
     if resume:
         if checkpoint_path is None:
             raise ValueError("resume=True requires checkpoint_path")
@@ -159,6 +167,10 @@ def cp_als(
         if os.path.exists(checkpoint_path):
             with np.load(checkpoint_path) as data:
                 start_iter = int(data["iteration"])
+                # The weights belong to the model: without them a
+                # resumed-but-already-converged run would return λ = ones
+                # instead of the checkpointed model.
+                resumed_lambdas = np.ascontiguousarray(data["weights"])
                 factors = []
                 m = 0
                 while f"factor_{m}" in data:
@@ -190,7 +202,7 @@ def cp_als(
 
     fits: List[float] = []
     iter_seconds: List[float] = []
-    lambdas = np.ones(rank)
+    lambdas = resumed_lambdas if resumed_lambdas is not None else np.ones(rank)
     converged = False
     start = time.perf_counter()
     prev_fit = -np.inf
@@ -211,12 +223,14 @@ def cp_als(
                 break
             prev_fit = fit
     total = time.perf_counter() - start
-    if checkpoint_path is not None:
+    if checkpoint_path is not None and iter_seconds:
+        # Zero iterations ran (e.g. resuming a finished run): writing here
+        # would clobber the checkpoint's weights with the loop-local λ.
         _write_checkpoint(start_iter + len(iter_seconds), lambdas)
     return AlsResult(
         model=KruskalTensor(lambdas, [f.copy() for f in factors]),
         fits=fits,
-        iterations=len(iter_seconds),
+        iterations=start_iter + len(iter_seconds),
         converged=converged,
         seconds=total,
         seconds_per_iteration=iter_seconds,

@@ -3,7 +3,15 @@
 from .machine import AMD_TR_64, INTEL_CLX_18, MACHINES, MachineSpec
 from .counters import NULL_COUNTER, ShardedTrafficCounter, TrafficCounter
 from .partition import ThreadPartition, nnz_partition, slice_partition
-from .executor import ReplicatedArray, SimulatedPool, run_partitioned, sanitizer_enabled
+from .executor import (
+    EXEC_BACKENDS,
+    ReplicatedArray,
+    SimulatedPool,
+    run_partitioned,
+    sanitizer_enabled,
+    shutdown_worker_pools,
+)
+from .shm import SharedArena, ShmToken, attach
 
 __all__ = [
     "MachineSpec",
@@ -20,4 +28,9 @@ __all__ = [
     "SimulatedPool",
     "run_partitioned",
     "sanitizer_enabled",
+    "EXEC_BACKENDS",
+    "shutdown_worker_pools",
+    "SharedArena",
+    "ShmToken",
+    "attach",
 ]

@@ -2,10 +2,22 @@
 
 The paper's kernels run as OpenMP parallel loops.  Here each "thread" is a
 Python callable invoked with its thread id; the :class:`SimulatedPool`
-runs them either serially (deterministic, default — per-thread *work* is
-what the study measures, not Python's GIL behaviour) or on a real
+runs them serially (deterministic, default — per-thread *work* is what
+the study measures, not Python's GIL behaviour), on a real
 ``ThreadPoolExecutor`` (NumPy releases the GIL inside kernels, so this
-exercises genuine concurrency on multicore hosts).
+exercises genuine concurrency on multicore hosts), or on a persistent
+``multiprocessing`` worker pool (``backend="processes"``) — the first
+backend where wall-clock genuinely scales with cores, because workers
+never contend for one GIL.
+
+Process workers cannot run closures: thread bodies for the ``processes``
+backend are *module-level task functions* dispatched with
+:meth:`SimulatedPool.run_tasks`, reading their inputs from
+``multiprocessing.shared_memory`` segments (:mod:`repro.parallel.shm`)
+and writing through slot-disjoint :class:`ReplicatedArray` stripes or
+per-thread scratch segments.  Worker pools are shared per thread-count
+across the whole process and shut down atexit, so constructing many
+engines does not fork new interpreters each time.
 
 :class:`ReplicatedArray` implements the paper's conflict-avoidance scheme
 (Sections II-D and III-A): output rows live in a buffer of ``N + T`` rows
@@ -14,19 +26,32 @@ Because per-thread node ranges are non-decreasing and overlap only at the
 single shared boundary node, the shift makes every (node, thread) slot
 unique — no atomics, no full privatization.  ``merge`` folds the shifted
 per-thread stripes back into the canonical ``N×R`` array with ``T``
-vectorized slice-adds.
+vectorized slice-adds.  The buffer may live in shared memory (pass
+``buffer=``), in which case workers write the stripes and the coordinator
+records ranges and merges — same arithmetic, same order, zero copies.
 """
 
 from __future__ import annotations
 
+import atexit
+import multiprocessing
 import os
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Tuple, TypeVar
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 from numpy.typing import DTypeLike
 
-__all__ = ["SimulatedPool", "ReplicatedArray", "sanitizer_enabled"]
+__all__ = [
+    "SimulatedPool",
+    "ReplicatedArray",
+    "sanitizer_enabled",
+    "EXEC_BACKENDS",
+    "shutdown_worker_pools",
+]
+
+#: The execution backends SimulatedPool accepts (also the CLI choices).
+EXEC_BACKENDS = ("serial", "threads", "processes")
 
 
 def sanitizer_enabled() -> bool:
@@ -46,6 +71,40 @@ def sanitizer_enabled() -> bool:
 T = TypeVar("T")
 
 
+# ----------------------------------------------------------------------
+# shared process-worker pools
+# ----------------------------------------------------------------------
+#: One persistent worker pool per worker count, shared by every
+#: SimulatedPool with backend="processes" — forking T interpreters per
+#: engine would dwarf any kernel; sharing amortizes the spawn across the
+#: whole process.  Torn down atexit (concurrent.futures joins idle
+#: workers on interpreter exit anyway; the explicit hook keeps shutdown
+#: deterministic).
+_WORKER_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _worker_pool(num_workers: int) -> ProcessPoolExecutor:
+    pool = _WORKER_POOLS.get(num_workers)
+    if pool is None:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX hosts
+            ctx = multiprocessing.get_context()
+        pool = ProcessPoolExecutor(max_workers=num_workers, mp_context=ctx)
+        _WORKER_POOLS[num_workers] = pool
+    return pool
+
+
+def shutdown_worker_pools() -> None:
+    """Shut down every shared process-worker pool (idempotent)."""
+    for pool in _WORKER_POOLS.values():
+        pool.shutdown(wait=True, cancel_futures=True)
+    _WORKER_POOLS.clear()
+
+
+atexit.register(shutdown_worker_pools)
+
+
 class SimulatedPool:
     """Runs ``fn(th)`` for every thread id and collects the results.
 
@@ -56,23 +115,58 @@ class SimulatedPool:
     backend:
         ``"serial"`` (default) executes thread bodies in order — fully
         deterministic, the mode used by tests and the traffic harness.
-        ``"threads"`` uses a real thread pool.
+        ``"threads"`` uses a real thread pool.  ``"processes"`` uses a
+        persistent multiprocessing worker pool; bodies must then be
+        module-level task functions dispatched via :meth:`run_tasks`
+        (closures are not picklable — see :mod:`repro.core.proc_tasks`).
     """
 
     def __init__(self, num_threads: int, backend: str = "serial") -> None:
         if num_threads < 1:
             raise ValueError("num_threads must be >= 1")
-        if backend not in ("serial", "threads"):
+        if backend not in EXEC_BACKENDS:
             raise ValueError(f"unknown backend {backend!r}")
         self.num_threads = num_threads
         self.backend = backend
 
     def map(self, fn: Callable[[int], T]) -> List[T]:
-        """Invoke ``fn`` once per thread id, returning results in id order."""
+        """Invoke ``fn`` once per thread id, returning results in id order.
+
+        Under ``backend="processes"`` arbitrary callables (closures,
+        bound methods) cannot cross the process boundary; kernels must
+        use :meth:`run_tasks` with a module-level task function instead.
+        """
+        if self.backend == "processes":
+            raise TypeError(
+                "SimulatedPool(backend='processes') cannot run closure "
+                "bodies; dispatch a module-level task with run_tasks() "
+                "(see repro.core.proc_tasks)"
+            )
         if self.backend == "serial" or self.num_threads == 1:
             return [fn(th) for th in range(self.num_threads)]
         with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
             return list(pool.map(fn, range(self.num_threads)))
+
+    def run_tasks(
+        self, task: Callable[[Any], T], payloads: Sequence[Any]
+    ) -> List[T]:
+        """Run ``task(payload)`` for every payload, results in order.
+
+        The processes backend requires ``task`` to be a module-level
+        function and every payload picklable (the :mod:`repro.lint`
+        ``process-task-safety`` rule enforces the former statically).
+        The serial and threads backends execute the same task function
+        directly, so all three backends share one code path and stay
+        bit-identical by construction.
+        """
+        if self.backend == "processes" and self.num_threads > 1:
+            pool = _worker_pool(self.num_threads)
+            futures = [pool.submit(task, p) for p in payloads]
+            return [f.result() for f in futures]
+        if self.backend == "threads" and self.num_threads > 1:
+            with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
+                return list(pool.map(task, payloads))
+        return [task(p) for p in payloads]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SimulatedPool(num_threads={self.num_threads}, backend={self.backend!r})"
@@ -102,14 +196,30 @@ class ReplicatedArray:
     """
 
     def __init__(
-        self, n_rows: int, rank: int, num_threads: int, dtype: DTypeLike = np.float64
+        self,
+        n_rows: int,
+        rank: int,
+        num_threads: int,
+        dtype: DTypeLike = np.float64,
+        buffer: Optional[np.ndarray] = None,
     ) -> None:
         if n_rows < 0 or rank < 1 or num_threads < 1:
             raise ValueError("invalid ReplicatedArray dimensions")
         self.n_rows = n_rows
         self.rank = rank
         self.num_threads = num_threads
-        self.buffer = np.zeros((n_rows + num_threads, rank), dtype=dtype)
+        if buffer is None:
+            self.buffer = np.zeros((n_rows + num_threads, rank), dtype=dtype)
+        else:
+            # Caller-provided storage (a shared-memory segment under the
+            # processes backend): same lifecycle, externally visible pages.
+            if buffer.shape != (n_rows + num_threads, rank):
+                raise ValueError(
+                    f"buffer shape {buffer.shape} != "
+                    f"{(n_rows + num_threads, rank)}"
+                )
+            buffer[...] = 0.0
+            self.buffer = buffer
         # Per-thread written node ranges (inclusive lo, exclusive hi),
         # recorded by view() and consumed by merge().
         self._ranges: List[Tuple[int, int, int]] = []

@@ -44,7 +44,8 @@ class TestCheckpoint:
             seed=999,  # ignored: factors come from the checkpoint
             checkpoint_path=path, resume=True,
         )
-        assert resumed.iterations == 3  # only the remaining iterations ran
+        assert resumed.iterations == 6  # cumulative across the resume
+        assert len(resumed.seconds_per_iteration) == 3  # this run's share
         for a, b in zip(straight.model.factors, resumed.model.factors):
             assert np.allclose(a, b, atol=1e-10)
 
@@ -74,7 +75,7 @@ class TestCheckpoint:
 
     def test_resume_past_max_iters_is_noop(self, workload, tmp_path):
         path = str(tmp_path / "ck.npz")
-        cp_als(
+        finished = cp_als(
             workload, 2, backend=SplattAll(workload, 2), max_iters=4, tol=0,
             checkpoint_path=path,
         )
@@ -82,4 +83,75 @@ class TestCheckpoint:
             workload, 2, backend=SplattAll(workload, 2), max_iters=3, tol=0,
             checkpoint_path=path, resume=True,
         )
-        assert res.iterations == 0
+        assert res.iterations == 4  # the checkpointed count, nothing new
+        assert res.seconds_per_iteration == []
+        # Regression: the returned model must BE the checkpointed model —
+        # before the fix λ came back as ones.
+        assert np.array_equal(res.model.weights, finished.model.weights)
+        for a, b in zip(res.model.factors, finished.model.factors):
+            assert np.array_equal(a, b)
+
+
+class TestCheckpointRoundTrip:
+    """Satellite coverage: λ preservation, no-op file semantics, and
+    monotone cumulative iteration counts across resume chains."""
+
+    def test_resume_preserves_weights_mid_run(self, workload, tmp_path):
+        """Straight 6-iteration λ == 3 + resume-3 λ: the weights are part
+        of the resumed state, not recomputed from ones."""
+        path = str(tmp_path / "ck.npz")
+        straight = cp_als(
+            workload, 2, backend=SplattAll(workload, 2), max_iters=6, tol=0,
+            seed=3,
+        )
+        cp_als(
+            workload, 2, backend=SplattAll(workload, 2), max_iters=3, tol=0,
+            seed=3, checkpoint_path=path, checkpoint_every=3,
+        )
+        resumed = cp_als(
+            workload, 2, backend=SplattAll(workload, 2), max_iters=6, tol=0,
+            checkpoint_path=path, resume=True,
+        )
+        assert np.allclose(
+            resumed.model.weights, straight.model.weights, atol=1e-10
+        )
+
+    def test_finished_run_resume_leaves_checkpoint_untouched(
+        self, workload, tmp_path
+    ):
+        """Re-invoking a finished run must not rewrite the file at all
+        (the old post-loop write clobbered weights with λ = ones)."""
+        path = str(tmp_path / "ck.npz")
+        cp_als(
+            workload, 2, backend=SplattAll(workload, 2), max_iters=4, tol=0,
+            checkpoint_path=path,
+        )
+        before = os.stat(path).st_mtime_ns
+        with np.load(path) as data:
+            weights_before = data["weights"].copy()
+        cp_als(
+            workload, 2, backend=SplattAll(workload, 2), max_iters=4, tol=0,
+            checkpoint_path=path, resume=True,
+        )
+        assert os.stat(path).st_mtime_ns == before
+        with np.load(path) as data:
+            assert np.array_equal(data["weights"], weights_before)
+            assert int(data["iteration"]) == 4
+
+    def test_cumulative_iterations_monotone_across_resumes(
+        self, workload, tmp_path
+    ):
+        """A resume chain 2 -> 4 -> 6 reports strictly increasing
+        cumulative counts, each matching the checkpoint's record."""
+        path = str(tmp_path / "ck.npz")
+        counts = []
+        for cap in (2, 4, 6):
+            res = cp_als(
+                workload, 2, backend=SplattAll(workload, 2), max_iters=cap,
+                tol=0, checkpoint_path=path, checkpoint_every=100,
+                resume=os.path.exists(path),
+            )
+            counts.append(res.iterations)
+            with np.load(path) as data:
+                assert int(data["iteration"]) == res.iterations
+        assert counts == [2, 4, 6]

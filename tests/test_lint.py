@@ -34,6 +34,7 @@ FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
 
 RULE_IDS = {
     "thread-body-safety",
+    "process-task-safety",
     "counter-category",
     "hot-path",
     "dtype-discipline",
@@ -83,6 +84,7 @@ class TestRuleFixtures:
 
     CASES = [
         ("thread_body_bad.py", "thread-body-safety", 3),
+        ("process_task_bad.py", "process-task-safety", 5),
         ("counter_bad.py", "counter-category", 2),
         ("ops/hot_path_bad.py", "hot-path", 4),
         ("ops/dtype_bad.py", "dtype-discipline", 2),

@@ -47,6 +47,26 @@ class TestStefConstruction:
         b = Stef(t, 4, swap_last_two=True)
         assert a.mode_order[-2:] == b.mode_order[::-1][:2]
 
+    def test_both_forced_skips_planner(self, workload):
+        """Regression: forcing plan AND swap leaves nothing to search, so
+        the enumeration must not run (benches were paying it anyway)."""
+        t, dense, factors = workload
+        s = Stef(t, 4, plan=MemoPlan((1,)), swap_last_two=False)
+        assert s.decision is None
+        assert s.preprocessing_seconds == 0.0
+        assert s.plan == MemoPlan((1,))
+        assert s.swap_last_two is False
+        for level in range(t.ndim):
+            assert np.allclose(
+                s.mttkrp_level(factors, level),
+                mttkrp_dense(dense, factors, s.mode_order[level]),
+            )
+
+    def test_single_forced_knob_still_plans(self, workload):
+        t, _, _ = workload
+        assert Stef(t, 4, plan=MemoPlan((1,))).decision is not None
+        assert Stef(t, 4, swap_last_two=True).decision is not None
+
     def test_describe(self, workload):
         t, _, _ = workload
         s = Stef(t, 4)

@@ -1,8 +1,9 @@
-"""Race/stress harness for the ``threads`` backend.
+"""Race/stress harness for the ``threads`` and ``processes`` backends.
 
 The paper's conflict-free scheme only earns its name if real concurrency
 changes *nothing*: every MTTKRP output must be bit-identical between the
-``serial`` and ``threads`` backends, and the merged per-thread traffic
+``serial`` backend and both concurrent backends (``threads`` and the
+shared-memory ``processes`` pool), and the merged per-thread traffic
 shards must equal the serial counter's tallies exactly — not approximately.
 This module sweeps (seed, thread-count) combinations (the CI acceptance
 floor is 20), hits the boundary-sharing edge cases at every CSF level, and
@@ -40,38 +41,46 @@ def _run(csf, factors, rank, threads, backend, plan, iters=1):
         csf, rank, plan=plan, num_threads=threads,
         backend=backend, counter=counter,
     )
-    outs = []
-    for _ in range(iters):
-        outs = [res for _, res in engine.iteration_results(factors)]
-    return outs, counter.snapshot()
+    try:
+        outs = []
+        for _ in range(iters):
+            outs = [res for _, res in engine.iteration_results(factors)]
+        return outs, counter.snapshot()
+    finally:
+        engine.close()
 
 
 class TestSerialThreadsEquivalence:
-    """The acceptance sweep: ≥ 20 (seed, thread-count) combinations."""
+    """The acceptance sweep: ≥ 20 (seed, thread-count) combinations,
+    run for both concurrent backends against the serial oracle."""
 
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
     @pytest.mark.parametrize("seed", SEEDS)
     @pytest.mark.parametrize("threads", THREAD_COUNTS)
-    def test_outputs_bit_identical_and_traffic_exact(self, seed, threads):
+    def test_outputs_bit_identical_and_traffic_exact(
+        self, seed, threads, backend
+    ):
         tensor = random_tensor((13, 9, 7, 5), nnz=350 + 13 * seed, seed=seed)
         csf = CsfTensor.from_coo(tensor)
         factors = make_factors(tensor.shape, 4, seed=seed)
         plan = MemoPlan((1,)) if seed % 2 else MemoPlan((1, 2))
         serial_out, serial_snap = _run(csf, factors, 4, threads, "serial", plan)
-        thread_out, thread_snap = _run(csf, factors, 4, threads, "threads", plan)
-        for a, b in zip(serial_out, thread_out):
+        conc_out, conc_snap = _run(csf, factors, 4, threads, backend, plan)
+        for a, b in zip(serial_out, conc_out):
             assert np.array_equal(a, b)  # bit-identical, not allclose
-        assert serial_snap == thread_snap  # exact, category by category
+        assert serial_snap == conc_snap  # exact, category by category
 
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
     @pytest.mark.parametrize("threads", THREAD_COUNTS)
-    def test_repeated_iterations_stay_identical(self, threads):
+    def test_repeated_iterations_stay_identical(self, threads, backend):
         """Buffer reuse across ALS iterations (the ReplicatedArray
         lifecycle) must not leak state between invocations."""
         tensor = random_tensor((11, 8, 6), nnz=300, seed=3)
         csf = CsfTensor.from_coo(tensor)
         factors = make_factors(tensor.shape, 3, seed=3)
-        once, _ = _run(csf, factors, 3, threads, "threads", MemoPlan((1,)))
+        once, _ = _run(csf, factors, 3, threads, backend, MemoPlan((1,)))
         thrice, _ = _run(
-            csf, factors, 3, threads, "threads", MemoPlan((1,)), iters=3
+            csf, factors, 3, threads, backend, MemoPlan((1,)), iters=3
         )
         for a, b in zip(once, thrice):
             assert np.array_equal(a, b)
@@ -129,7 +138,7 @@ class TestBoundaryConflicts:
         for level, nodes in enumerate(shared):
             assert nodes, f"expected shared boundary nodes at level {level}"
 
-    @pytest.mark.parametrize("backend", ["serial", "threads"])
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
     def test_boundary_conflicts_resolved_exactly(self, backend):
         tensor = self._chain_tensor()
         csf = CsfTensor.from_coo(tensor, (0, 1, 2))
@@ -138,15 +147,19 @@ class TestBoundaryConflicts:
         engine = MemoizedMttkrp(
             csf, 4, plan=MemoPlan((1,)), num_threads=6, backend=backend
         )
-        for mode, result in engine.iteration_results(factors):
-            assert np.allclose(result, mttkrp_dense(dense, factors, mode))
+        try:
+            for mode, result in engine.iteration_results(factors):
+                assert np.allclose(result, mttkrp_dense(dense, factors, mode))
+        finally:
+            engine.close()
 
-    def test_serial_threads_identical_on_boundary_tensor(self):
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_serial_identical_on_boundary_tensor(self, backend):
         tensor = self._chain_tensor()
         csf = CsfTensor.from_coo(tensor, (0, 1, 2))
         factors = make_factors(tensor.shape, 4, seed=2)
         s, snap_s = _run(csf, factors, 4, 6, "serial", MemoPlan((1,)))
-        t, snap_t = _run(csf, factors, 4, 6, "threads", MemoPlan((1,)))
+        t, snap_t = _run(csf, factors, 4, 6, backend, MemoPlan((1,)))
         for a, b in zip(s, t):
             assert np.array_equal(a, b)
         assert snap_s == snap_t
@@ -162,22 +175,28 @@ class TestDegenerateSchedules:
         assert csf.fiber_counts[0] <= 2
         factors = make_factors(tensor.shape, 3, seed=4)
         dense = tensor.to_dense()
-        for backend in ("serial", "threads"):
+        for backend in ("serial", "threads", "processes"):
             engine = MemoizedMttkrp(
                 csf, 3, plan=SAVE_NONE, num_threads=8,
                 partition="slice", backend=backend,
             )
-            for mode, result in engine.iteration_results(factors):
-                assert np.allclose(result, mttkrp_dense(dense, factors, mode))
+            try:
+                for mode, result in engine.iteration_results(factors):
+                    assert np.allclose(
+                        result, mttkrp_dense(dense, factors, mode)
+                    )
+            finally:
+                engine.close()
 
-    def test_more_threads_than_nonzeros(self):
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_more_threads_than_nonzeros(self, backend):
         # 5 non-zeros, 12 threads: most leaf ranges are empty.
         tensor = random_tensor((6, 5, 4), nnz=5, seed=5)
         csf = CsfTensor.from_coo(tensor)
         factors = make_factors(tensor.shape, 2, seed=5)
         dense = tensor.to_dense()
         s, snap_s = _run(csf, factors, 2, 12, "serial", SAVE_NONE)
-        t, snap_t = _run(csf, factors, 2, 12, "threads", SAVE_NONE)
+        t, snap_t = _run(csf, factors, 2, 12, backend, SAVE_NONE)
         for a, b, (mode, _) in zip(
             s, t, MemoizedMttkrp(csf, 2, num_threads=1).iteration_results(factors)
         ):
@@ -256,13 +275,15 @@ class TestRaceSanitizer:
         rep.reset()
         rep.view(1, 0, 6)  # would race with thread 0's pre-reset view
 
-    @pytest.mark.parametrize("backend", ["serial", "threads"])
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
     def test_shipped_kernels_are_race_free_under_sanitizer(
         self, monkeypatch, backend
     ):
         """The whole engine (all plans' mode0 sweeps, buffer reuse across
         iterations) runs clean with the sanitizer armed — the shipped
-        partitioning really does produce conflict-free view ranges."""
+        partitioning really does produce conflict-free view ranges.
+        Under the processes backend the coordinator records exactly the
+        ranges the workers wrote, so the sanitizer guards it too."""
         monkeypatch.setenv("REPRO_SANITIZE", "1")
         tensor = random_tensor((13, 9, 7), nnz=400, seed=11)
         csf = CsfTensor.from_coo(tensor)
@@ -271,9 +292,14 @@ class TestRaceSanitizer:
         engine = MemoizedMttkrp(
             csf, 4, plan=MemoPlan((1,)), num_threads=5, backend=backend
         )
-        for _ in range(2):  # exercises the reset lifecycle too
-            for mode, result in engine.iteration_results(factors):
-                assert np.allclose(result, mttkrp_dense(dense, factors, mode))
+        try:
+            for _ in range(2):  # exercises the reset lifecycle too
+                for mode, result in engine.iteration_results(factors):
+                    assert np.allclose(
+                        result, mttkrp_dense(dense, factors, mode)
+                    )
+        finally:
+            engine.close()
 
 
 class TestShardedCounterUnderRealThreads:
@@ -300,9 +326,11 @@ class TestShardedCounterUnderRealThreads:
         assert merged.flops == 2 * threads * per_thread
         assert merged.by_category["r:structure"] == threads * per_thread
 
-    def test_all_plans_all_partitions_smoke(self):
-        """Cross product of plans × partitions under the threads backend
-        agrees with the dense oracle (the old suite only smoked one)."""
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_all_plans_all_partitions_smoke(self, backend):
+        """Cross product of plans × partitions under each concurrent
+        backend agrees with the dense oracle (the old suite only smoked
+        one)."""
         tensor = random_tensor((7, 6, 5, 4), nnz=180, seed=9)
         dense = tensor.to_dense()
         factors = make_factors(tensor.shape, 2, seed=9)
@@ -311,9 +339,12 @@ class TestShardedCounterUnderRealThreads:
             for partition in ("nnz", "slice"):
                 engine = MemoizedMttkrp(
                     csf, 2, plan=plan, num_threads=4,
-                    partition=partition, backend="threads",
+                    partition=partition, backend=backend,
                 )
-                for mode, result in engine.iteration_results(factors):
-                    assert np.allclose(
-                        result, mttkrp_dense(dense, factors, mode)
-                    ), (plan, partition, mode)
+                try:
+                    for mode, result in engine.iteration_results(factors):
+                        assert np.allclose(
+                            result, mttkrp_dense(dense, factors, mode)
+                        ), (plan, partition, mode)
+                finally:
+                    engine.close()
