@@ -16,8 +16,8 @@ from repro.analysis import (
     relative_performance,
     run_comparison,
 )
-from repro.baselines import ALL_BACKENDS
 from repro.cpd import random_init
+from repro.engines import create_engine
 from repro.parallel import AMD_TR_64
 
 METHODS = ("stef", "stef2", "adatm", "alto", "splatt-1", "splatt-2", "splatt-all", "taco")
@@ -55,11 +55,13 @@ def test_mttkrp_set_wall_time_vast(benchmark, method):
     """Wall-clock of one MTTKRP set on the load-balance stress tensor."""
     tensor = bench_tensor("vast-2015-mc1-3d")
     rank = 32
-    backend = ALL_BACKENDS[method](tensor, rank, machine=MACHINE, num_threads=8)
     factors = random_init(tensor.shape, rank, 0)
+    with create_engine(
+        method, tensor, rank, machine=MACHINE, num_threads=8
+    ) as backend:
 
-    def one_set():
-        for level in range(tensor.ndim):
-            backend.mttkrp_level(factors, level)
+        def one_set():
+            for level in range(tensor.ndim):
+                backend.mttkrp_level(factors, level)
 
-    benchmark.pedantic(one_set, rounds=3, iterations=1, warmup_rounds=1)
+        benchmark.pedantic(one_set, rounds=3, iterations=1, warmup_rounds=1)

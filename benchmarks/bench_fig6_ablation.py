@@ -56,10 +56,12 @@ def test_figure6_ablation(benchmark, machine):
                 kwargs = _arm_kwargs(arm, tensor)
                 if "swap_opposite" in kwargs:
                     # Invert the model's choice explicitly.
-                    from repro.baselines import ALL_BACKENDS
+                    from repro.engines import create_engine
 
-                    probe = ALL_BACKENDS["stef"](tensor, rank, num_threads=1)
-                    kwargs = {"swap_last_two": not probe.swap_last_two}
+                    with create_engine(
+                        "stef", tensor, rank, num_threads=1
+                    ) as probe:
+                        kwargs = {"swap_last_two": not probe.swap_last_two}
                 m = measure_method(
                     "stef", tensor, rank, machine,
                     num_threads=8, tensor_name=name, backend_kwargs=kwargs,

@@ -19,7 +19,7 @@ Run:  python examples/chicago_crime_analysis.py
 
 import numpy as np
 
-from repro import TABLE1_SPECS, Stef, cp_als, generate
+from repro import TABLE1_SPECS, cp_als, create_engine, generate
 from repro.core import DataMovementModel, TensorStats
 from repro.parallel import INTEL_CLX_18
 from repro.tensor import CsfTensor
@@ -32,9 +32,11 @@ def main() -> None:
     print(f"pathology: {spec.pathology}")
 
     rank = 8
-    backend = Stef(tensor, rank, machine=INTEL_CLX_18, num_threads=8)
-    print("\nplanner:", backend.describe())
-    result = cp_als(tensor, rank, backend=backend, max_iters=15, tol=1e-4)
+    with create_engine(
+        "stef", tensor, rank, machine=INTEL_CLX_18, num_threads=8
+    ) as engine:
+        print("\nplanner:", engine.describe())
+        result = cp_als(tensor, rank, engine=engine, max_iters=15, tol=1e-4)
     print(f"fit after {result.iterations} iterations: {result.final_fit:.4f}")
 
     # The hour-of-day mode is mode 1 (length 24, kept exact by the

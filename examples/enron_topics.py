@@ -17,7 +17,7 @@ Run:  python examples/enron_topics.py
 
 import numpy as np
 
-from repro import Stef, TABLE1_SPECS, cp_als, generate
+from repro import TABLE1_SPECS, cp_als, create_engine, generate
 
 
 def main() -> None:
@@ -26,11 +26,11 @@ def main() -> None:
     print("values are count-like (lognormal) -> non-negative CP is natural")
 
     rank = 6
-    backend = Stef(tensor, rank, num_threads=8)
-    print("\nplanner:", backend.describe())
-    result = cp_als(
-        tensor, rank, backend=backend, max_iters=20, tol=1e-5, nonneg=True,
-    )
+    with create_engine("stef", tensor, rank, num_threads=8) as engine:
+        print("\nplanner:", engine.describe())
+        result = cp_als(
+            tensor, rank, engine=engine, max_iters=20, tol=1e-5, nonneg=True,
+        )
     model = result.model
     print(
         f"fit {result.final_fit:.4f} (zeros penalized) | "

@@ -53,12 +53,12 @@ def main() -> None:
     print("\nverifying 64-thread == serial MTTKRP ...")
     rank = 16
     factors = random_init(tensor.shape, rank, 0)
-    serial = MemoizedMttkrp(csf, rank, plan=SAVE_NONE, num_threads=1)
-    parallel = MemoizedMttkrp(csf, rank, plan=SAVE_NONE, num_threads=64)
-    for (m1, a), (m2, b) in zip(
-        serial.iteration_results(factors), parallel.iteration_results(factors)
-    ):
-        assert m1 == m2 and np.allclose(a, b), m1
+    with MemoizedMttkrp(csf, rank, plan=SAVE_NONE, num_threads=1) as serial, \
+            MemoizedMttkrp(csf, rank, plan=SAVE_NONE, num_threads=64) as par:
+        for (m1, a), (m2, b) in zip(
+            serial.iteration_results(factors), par.iteration_results(factors)
+        ):
+            assert m1 == m2 and np.allclose(a, b), m1
     print("identical results for every mode — no atomics, no privatization.")
 
     ws = build_schedule(csf, 64, "nnz")

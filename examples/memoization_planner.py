@@ -16,10 +16,9 @@ Run:  python examples/memoization_planner.py
 
 import time
 
-from repro import TABLE1_SPECS, generate
+from repro import TABLE1_SPECS, create_engine, generate
 from repro.analysis.traffic import model_vs_measured, ranking_agreement
 from repro.core import (
-    Stef,
     count_swapped_fibers,
     plan_decomposition,
 )
@@ -71,14 +70,18 @@ def main() -> None:
     print(f"ranking agreement (pair concordance): {ranking_agreement(entries):.2f}")
 
     # Space cost of the chosen plan (Table II).
-    stef = Stef(tensor, rank, machine=INTEL_CLX_18, num_threads=8)
-    stef.mttkrp_level(random_init(tensor.shape, rank, 0), 0)
-    base_bytes = stef.csf.total_bytes() + sum(n * rank * 8 for n in tensor.shape)
-    print(
-        f"\nchosen plan stores {stef.memo_bytes() / 1e6:.2f} MB of partials "
-        f"vs {base_bytes / 1e6:.2f} MB CSF+factors "
-        f"(ratio {stef.memo_bytes() / base_bytes:.2f})"
-    )
+    with create_engine(
+        "stef", tensor, rank, machine=INTEL_CLX_18, num_threads=8
+    ) as stef:
+        stef.mttkrp_level(random_init(tensor.shape, rank, 0), 0)
+        base_bytes = stef.csf.total_bytes() + sum(
+            n * rank * 8 for n in tensor.shape
+        )
+        print(
+            f"\nchosen plan stores {stef.memo_bytes() / 1e6:.2f} MB of "
+            f"partials vs {base_bytes / 1e6:.2f} MB CSF+factors "
+            f"(ratio {stef.memo_bytes() / base_bytes:.2f})"
+        )
 
 
 if __name__ == "__main__":

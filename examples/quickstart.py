@@ -9,7 +9,7 @@ planner selected.
 Run:  python examples/quickstart.py
 """
 
-from repro import Stef, cp_als, low_rank_tensor
+from repro import cp_als, create_engine, low_rank_tensor
 
 
 def main() -> None:
@@ -22,23 +22,23 @@ def main() -> None:
     )
     print(f"tensor: shape={tensor.shape} nnz={tensor.nnz}")
 
-    backend = Stef(tensor, rank=8, num_threads=8)
-    print("planner decision:", backend.describe())
-    print("  best config:", backend.decision.best.describe())
+    with create_engine("stef", tensor, 8, num_threads=8) as engine:
+        print("planner decision:", engine.describe())
+        print("  best config:", engine.decision.best.describe())
 
-    result = cp_als(
-        tensor,
-        rank=8,
-        backend=backend,
-        max_iters=20,
-        tol=1e-4,
-        seed=0,
-        callback=lambda it, fit: print(f"  iter {it + 1:2d}  fit = {fit:.4f}"),
-    )
+        result = cp_als(
+            tensor,
+            rank=8,
+            engine=engine,
+            max_iters=20,
+            tol=1e-4,
+            seed=0,
+            callback=lambda it, fit: print(f"  iter {it + 1:2d}  fit = {fit:.4f}"),
+        )
 
-    print(f"converged: {result.converged} after {result.iterations} iterations")
-    print(f"final fit: {result.final_fit:.4f}")
-    print(f"memoized partial results: {backend.memo_bytes() / 1e6:.2f} MB")
+        print(f"converged: {result.converged} after {result.iterations} iterations")
+        print(f"final fit: {result.final_fit:.4f}")
+        print(f"memoized partial results: {engine.memo_bytes() / 1e6:.2f} MB")
     lam = result.model.weights
     print("component weights:", ", ".join(f"{w:.2f}" for w in sorted(lam)[::-1]))
 

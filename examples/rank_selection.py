@@ -16,7 +16,7 @@ Run:  python examples/rank_selection.py
 
 import numpy as np
 
-from repro import Stef, cp_als
+from repro import cp_als, create_engine
 from repro.cpd import KruskalTensor, corcondia, factor_match_score
 from repro.tensor import CooTensor, low_rank_tensor
 
@@ -36,11 +36,11 @@ def main() -> None:
 
     best = None
     for rank in (1, 2, 3, 4, 5, 6):
-        backend = Stef(tensor, rank, num_threads=4)
-        res = cp_als(
-            tensor, rank, backend=backend, max_iters=40, tol=1e-7,
-            init="hosvd",
-        )
+        with create_engine("stef", tensor, rank, num_threads=4) as engine:
+            res = cp_als(
+                tensor, rank, engine=engine, max_iters=40, tol=1e-7,
+                init="hosvd",
+            )
         cc = corcondia(tensor, res.model)
         fms = (
             factor_match_score(planted, res.model)

@@ -14,7 +14,7 @@ Run:  python examples/reordering_pipeline.py
 
 import numpy as np
 
-from repro import TABLE1_SPECS, Stef, cp_als, generate, lexi_order
+from repro import TABLE1_SPECS, cp_als, create_engine, generate, lexi_order
 from repro.cpd import KruskalTensor
 from repro.tensor import CsfTensor, HicooTensor
 
@@ -36,9 +36,9 @@ def main() -> None:
     print(f"CSF fiber counts unchanged: {fb} == {fa}: {fb == fa}")
 
     rank = 8
-    backend = Stef(relabeled, rank, num_threads=8)
-    print("planner on relabeled tensor:", backend.describe())
-    result = cp_als(relabeled, rank, backend=backend, max_iters=10, tol=1e-4)
+    with create_engine("stef", relabeled, rank, num_threads=8) as engine:
+        print("planner on relabeled tensor:", engine.describe())
+        result = cp_als(relabeled, rank, engine=engine, max_iters=10, tol=1e-4)
     print(f"fit on relabeled tensor: {result.final_fit:.4f}")
 
     # Map factors back to the original labels: the factor row for old id

@@ -32,26 +32,27 @@ sys.path.insert(
 
 import numpy as np
 
-from repro.core import MemoPlan, MemoizedMttkrp
+from repro.core import MemoPlan
+from repro.engines import create_engine
 from repro.parallel import TrafficCounter
-from repro.tensor import CsfTensor, random_tensor
+from repro.tensor import random_tensor
 
 SHAPES = ((40, 25, 18), (16, 12, 9, 7))
 
 
-def run_once(csf, factors, rank, threads, backend, plan, iters):
+def run_once(tensor, factors, rank, threads, backend, plan, iters):
     counter = TrafficCounter(cache_elements=8192)
-    engine = MemoizedMttkrp(
-        csf, rank, plan=plan, num_threads=threads,
-        backend=backend, counter=counter,
-    )
-    try:
+    # Forced plan + swap keep the CSF layout identical across backends,
+    # so serial-vs-concurrent comparisons see the very same schedule.
+    with create_engine(
+        "stef", tensor, rank, plan=plan, swap_last_two=False,
+        partition="nnz", num_threads=threads, exec_backend=backend,
+        counter=counter,
+    ) as engine:
         outs = []
         for _ in range(iters):
             outs = [res.copy() for _, res in engine.iteration_results(factors)]
         return outs, counter.snapshot()
-    finally:
-        engine.close()
 
 
 def main() -> int:
@@ -72,7 +73,6 @@ def main() -> int:
     for shape in SHAPES:
         for seed in range(args.seeds):
             tensor = random_tensor(shape, nnz=args.nnz, seed=seed)
-            csf = CsfTensor.from_coo(tensor)
             rng = np.random.default_rng(1000 + seed)
             factors = [
                 rng.standard_normal((n, args.rank)) for n in tensor.shape
@@ -83,11 +83,11 @@ def main() -> int:
             for threads in args.threads:
                 combos += 1
                 s_out, s_snap = run_once(
-                    csf, factors, args.rank, threads, "serial", plan,
+                    tensor, factors, args.rank, threads, "serial", plan,
                     args.iters,
                 )
                 t_out, t_snap = run_once(
-                    csf, factors, args.rank, threads, args.backend, plan,
+                    tensor, factors, args.rank, threads, args.backend, plan,
                     args.iters,
                 )
                 bad = []

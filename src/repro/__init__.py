@@ -7,10 +7,11 @@ variants, AdaTM, ALTO, TACO-style) the paper evaluates against.
 
 Quickstart::
 
-    from repro import cp_als, Stef, random_tensor
+    from repro import cp_als, create_engine, random_tensor
 
     tensor = random_tensor((500, 400, 300), nnz=50_000, seed=0)
-    result = cp_als(tensor, rank=16, backend=Stef(tensor, 16, num_threads=8))
+    with create_engine("stef", tensor, 16, num_threads=8) as engine:
+        result = cp_als(tensor, rank=16, engine=engine)
     print(result.final_fit, result.iterations)
 
 See README.md for the architecture overview and EXPERIMENTS.md for the
@@ -56,6 +57,8 @@ from .parallel import (
     TrafficCounter,
 )
 from .baselines import ALL_BACKENDS
+from .engines import MttkrpEngine, create_engine, engine_names, register_engine
+from .trace import NULL_TRACER, NullTracer, Tracer
 
 __version__ = "1.0.0"
 
@@ -97,5 +100,12 @@ __all__ = [
     "MachineSpec",
     "TrafficCounter",
     "ALL_BACKENDS",
+    "MttkrpEngine",
+    "create_engine",
+    "engine_names",
+    "register_engine",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
     "__version__",
 ]

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..baselines import ALL_BACKENDS
 from ..cpd.init import random_init
+from ..engines import create_engine
 from ..parallel.counters import TrafficCounter
 from ..parallel.machine import MachineSpec
 from ..tensor.coo import CooTensor
@@ -105,10 +106,11 @@ def measure_method(
 ) -> MethodMeasurement:
     """Run one full MTTKRP set for ``method`` and collect both channels.
 
-    ``method`` is a key of :data:`repro.baselines.ALL_BACKENDS`;
-    ``backend_kwargs`` forwards extra constructor arguments (used by the
-    ablation benches to force plans/partitions).  ``cache_scale`` defaults
-    to the per-tensor factor of :func:`scale_for_tensor`.
+    ``method`` is a registered engine name (see
+    :func:`repro.engines.create_engine`); ``backend_kwargs`` forwards
+    extra constructor arguments (used by the ablation benches to force
+    plans/partitions).  ``cache_scale`` defaults to the per-tensor
+    factor of :func:`scale_for_tensor`.
     """
     if cache_scale is None:
         cache_scale = scale_for_tensor(tensor, tensor_name)
@@ -116,7 +118,8 @@ def measure_method(
     counter = TrafficCounter(cache_elements=machine_eff.cache_elements)
     threads = num_threads if num_threads is not None else machine.num_threads
     t0 = time.perf_counter()
-    backend = ALL_BACKENDS[method](
+    backend = create_engine(
+        method,
         tensor,
         rank,
         machine=machine_eff,
@@ -134,28 +137,29 @@ def measure_method(
         machine=machine.name,
         setup_seconds=setup,
     )
-    for level in range(tensor.ndim):
-        before_t = counter.total
-        before_f = counter.flops
-        t1 = time.perf_counter()
-        backend.mttkrp_level(factors, level)
-        wall = time.perf_counter() - t1
-        delta_t = counter.total - before_t
-        delta_f = counter.flops - before_f
-        load = backend.level_load_factor(level)
-        meas.levels.append(
-            LevelCost(
-                mode=backend.mode_order[level],
-                traffic_elements=delta_t,
-                flops=delta_f,
-                load_factor=load,
-                wall_seconds=wall,
+    with backend:
+        for level in range(tensor.ndim):
+            before_t = counter.total
+            before_f = counter.flops
+            t1 = time.perf_counter()
+            backend.mttkrp_level(factors, level)
+            wall = time.perf_counter() - t1
+            delta_t = counter.total - before_t
+            delta_f = counter.flops - before_f
+            load = backend.level_load_factor(level)
+            meas.levels.append(
+                LevelCost(
+                    mode=backend.mode_order[level],
+                    traffic_elements=delta_t,
+                    flops=delta_f,
+                    load_factor=load,
+                    wall_seconds=wall,
+                )
             )
-        )
-        meas.wall_seconds += wall
-        meas.simulated_seconds += (
-            machine_eff.roofline_seconds(delta_t, delta_f, threads) * load
-        )
+            meas.wall_seconds += wall
+            meas.simulated_seconds += (
+                machine_eff.roofline_seconds(delta_t, delta_f, threads) * load
+            )
     meas.traffic_reads = counter.reads
     meas.traffic_writes = counter.writes
     return meas

@@ -13,11 +13,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..baselines import ALL_BACKENDS
 from ..cpd.init import random_init
+from ..engines import create_engine
 from ..parallel.counters import TrafficCounter
 from ..parallel.machine import MachineSpec
 from ..tensor.coo import CooTensor
+from ..trace import NULL_TRACER, Tracer
 from .experiments import scale_for_tensor
 
 __all__ = ["LevelProfile", "MethodProfile", "profile_method"]
@@ -84,6 +85,46 @@ class MethodProfile:
         )
         return "\n".join(lines)
 
+    @classmethod
+    def from_trace(
+        cls,
+        tracer: Tracer,
+        *,
+        method: str = "?",
+        tensor_name: str = "?",
+        rank: int = 0,
+        machine: str = "trace",
+    ) -> "MethodProfile":
+        """Reconstruct a per-level profile from a recorded trace.
+
+        Every kernel span (``mttkrp.mode0`` / ``mttkrp.mode_level``)
+        becomes one :class:`LevelProfile` row, in execution order, with
+        the span's traffic delta supplying the category breakdown.  A
+        trace has no roofline model, so ``seconds`` is the span's wall
+        time and ``load_factor`` is 1.0; the traffic/flops/category
+        columns are exact (the deltas tile the counter totals).
+        """
+        profile = cls(
+            method=method, tensor_name=tensor_name, rank=rank, machine=machine
+        )
+        for rec in tracer.kernel_spans():
+            traffic = rec.traffic or {}
+            cats = dict(traffic.get("by_category", {}))
+            profile.levels.append(
+                LevelProfile(
+                    level=int(rec.attrs.get("level", len(profile.levels))),
+                    mode=int(rec.attrs.get("mode", -1)),
+                    categories=cats,
+                    traffic=float(traffic.get("reads", 0.0))
+                    + float(traffic.get("writes", 0.0)),
+                    flops=float(traffic.get("flops", 0.0)),
+                    load_factor=1.0,
+                    seconds=rec.seconds,
+                    wall_seconds=rec.seconds,
+                )
+            )
+        return profile
+
 
 def profile_method(
     method: str,
@@ -95,66 +136,69 @@ def profile_method(
     tensor_name: str = "?",
     seed: int = 0,
     exec_backend: str = "serial",
+    tracer: Tracer = NULL_TRACER,
 ) -> MethodProfile:
     """Run one MTTKRP set and capture per-level category breakdowns.
 
     ``exec_backend`` selects the simulated pool's execution mode
-    (``"serial"`` or ``"threads"``); the per-thread counter sharding makes
-    the profile identical either way.
+    (``"serial"``, ``"threads"``, or ``"processes"``); the per-thread
+    counter sharding makes the profile identical across all three.
+    ``tracer`` records the set's kernel and per-thread spans (the CLI's
+    ``profile --trace-chrome`` path).
     """
     cache_scale = scale_for_tensor(tensor, tensor_name)
     machine_eff = machine.with_cache_scale(cache_scale)
     counter = TrafficCounter(cache_elements=machine_eff.cache_elements)
     threads = num_threads if num_threads is not None else machine.num_threads
-    backend = ALL_BACKENDS[method](
-        tensor, rank, machine=machine_eff, num_threads=threads,
-        counter=counter, backend=exec_backend,
-    )
     factors = random_init(tensor.shape, rank, seed)
     profile = MethodProfile(
         method=method, tensor_name=tensor_name, rank=rank, machine=machine.name
     )
     prev_cats: Dict[str, float] = {}
     prev_total, prev_flops = 0.0, 0.0
-    for level in range(tensor.ndim):
-        t0 = time.perf_counter()
-        backend.mttkrp_level(factors, level)
-        wall = time.perf_counter() - t0
-        cats: Dict[str, float] = {}
-        for k, v in counter.by_category.items():
-            delta = v - prev_cats.get(k, 0.0)
-            if delta < 0:
-                # Counters only ever accumulate; a shrinking category means
-                # the counter was corrupted (lost updates, an unexpected
-                # reset) and the whole profile is untrustworthy.
+    with create_engine(
+        method, tensor, rank, machine=machine_eff, num_threads=threads,
+        counter=counter, exec_backend=exec_backend, tracer=tracer,
+    ) as backend:
+        for level in range(tensor.ndim):
+            t0 = time.perf_counter()
+            backend.mttkrp_level(factors, level)
+            wall = time.perf_counter() - t0
+            cats: Dict[str, float] = {}
+            for k, v in counter.by_category.items():
+                delta = v - prev_cats.get(k, 0.0)
+                if delta < 0:
+                    # Counters only ever accumulate; a shrinking category
+                    # means the counter was corrupted (lost updates, an
+                    # unexpected reset) and the profile is untrustworthy.
+                    raise RuntimeError(
+                        f"negative traffic delta for category {k!r} at level "
+                        f"{level} of {method!r} ({delta:g}): counter corruption"
+                    )
+                if delta > 0:
+                    cats[k] = delta
+            traffic = counter.total - prev_total
+            flops = counter.flops - prev_flops
+            if traffic < 0 or flops < 0:
                 raise RuntimeError(
-                    f"negative traffic delta for category {k!r} at level "
-                    f"{level} of {method!r} ({delta:g}): counter corruption"
+                    f"negative traffic/flop delta at level {level} of "
+                    f"{method!r} (traffic {traffic:g}, flops {flops:g}): "
+                    "counter corruption"
                 )
-            if delta > 0:
-                cats[k] = delta
-        traffic = counter.total - prev_total
-        flops = counter.flops - prev_flops
-        if traffic < 0 or flops < 0:
-            raise RuntimeError(
-                f"negative traffic/flop delta at level {level} of "
-                f"{method!r} (traffic {traffic:g}, flops {flops:g}): "
-                "counter corruption"
+            load = backend.level_load_factor(level)
+            profile.levels.append(
+                LevelProfile(
+                    level=level,
+                    mode=backend.mode_order[level],
+                    categories=cats,
+                    traffic=traffic,
+                    flops=flops,
+                    load_factor=load,
+                    seconds=machine_eff.roofline_seconds(traffic, flops, threads)
+                    * load,
+                    wall_seconds=wall,
+                )
             )
-        load = backend.level_load_factor(level)
-        profile.levels.append(
-            LevelProfile(
-                level=level,
-                mode=backend.mode_order[level],
-                categories=cats,
-                traffic=traffic,
-                flops=flops,
-                load_factor=load,
-                seconds=machine_eff.roofline_seconds(traffic, flops, threads)
-                * load,
-                wall_seconds=wall,
-            )
-        )
-        prev_cats = dict(counter.by_category)
-        prev_total, prev_flops = counter.total, counter.flops
+            prev_cats = dict(counter.by_category)
+            prev_total, prev_flops = counter.total, counter.flops
     return profile

@@ -19,16 +19,19 @@ or memoizing decisions" whenever FLOPs and traffic disagree.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..compat import resolve_engine_aliases
 from ..core.memoization import MemoPlan, enumerate_plans
 from ..core.mttkrp import MemoizedMttkrp
+from ..engines.base import EngineBase, resolve_num_threads
 from ..parallel.counters import NULL_COUNTER, TrafficCounter
 from ..parallel.machine import MachineSpec
 from ..tensor.coo import CooTensor
 from ..tensor.csf import CsfTensor, default_mode_order
+from ..trace import NULL_TRACER, Tracer
 
 __all__ = ["flop_count", "flop_minimal_plan", "AdaTm"]
 
@@ -71,7 +74,7 @@ def flop_minimal_plan(fiber_counts: Sequence[int], rank: int) -> MemoPlan:
     return best[1]
 
 
-class AdaTm:
+class AdaTm(EngineBase):
     """Op-count-driven memoized MTTKRP backend (AdaTM policy)."""
 
     name = "adatm"
@@ -83,14 +86,18 @@ class AdaTm:
         *,
         machine: Optional[MachineSpec] = None,
         num_threads: Optional[int] = None,
-        backend: str = "serial",
+        exec_backend: Optional[str] = None,
         counter: TrafficCounter = NULL_COUNTER,
+        tracer: Tracer = NULL_TRACER,
+        **deprecated,
     ) -> None:
+        num_threads, exec_backend = resolve_engine_aliases(
+            type(self).__name__, num_threads, exec_backend, deprecated
+        )
         self.tensor = tensor
         self.rank = rank
-        threads = num_threads if num_threads is not None else (
-            machine.num_threads if machine else 1
-        )
+        self.tracer = tracer
+        threads = resolve_num_threads(machine, num_threads)
         self.csf = CsfTensor.from_coo(tensor, default_mode_order(tensor.shape))
         self.plan = flop_minimal_plan(self.csf.fiber_counts, rank)
         self.engine = MemoizedMttkrp(
@@ -99,8 +106,9 @@ class AdaTm:
             plan=self.plan,
             num_threads=threads,
             partition="slice",
-            backend=backend,
+            exec_backend=exec_backend,
             counter=counter,
+            tracer=tracer,
         )
         self.mode_order: Tuple[int, ...] = self.csf.mode_order
 
@@ -117,6 +125,17 @@ class AdaTm:
     def level_load_factor(self, level: int) -> float:
         """Imbalance stretch of the slice schedule (level-independent)."""
         return self.engine.partition.max_over_mean
+
+    @property
+    def num_threads(self) -> int:
+        return self.engine.num_threads
+
+    def per_thread_traffic(self) -> List[float]:
+        return self.engine.shards.per_thread_totals()
+
+    def close(self) -> None:
+        """Release the inner engine's resources (shm under processes)."""
+        self.engine.close()
 
     def describe(self) -> str:
         return f"{self.name}: save={list(self.plan.save_levels)} (FLOP-minimal)"

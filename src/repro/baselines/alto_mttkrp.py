@@ -27,14 +27,17 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..compat import resolve_engine_aliases
 from ..core.csf_kernels import scatter_add_rows
 from ..core.proc_tasks import emit_contrib, merge_counter_state
+from ..engines.base import EngineBase, resolve_num_threads
 from ..parallel.counters import NULL_COUNTER, ShardedTrafficCounter, TrafficCounter
 from ..parallel.executor import SimulatedPool
 from ..parallel.machine import MachineSpec
 from ..parallel.shm import SharedArena, ShmToken, attach
 from ..tensor.alto import AltoTensor
 from ..tensor.coo import CooTensor
+from ..trace import NULL_TRACER, Tracer
 
 __all__ = ["AltoBackend"]
 
@@ -75,7 +78,7 @@ def _alto_mode_task(payload: Dict[str, Any]) -> Tuple[str, int, Any, tuple]:
     return emit_contrib(ctx["scratch"][th], lo, acc, counter)
 
 
-class AltoBackend:
+class AltoBackend(EngineBase):
     """ALTO-format MTTKRP backend (recompute-all-modes policy)."""
 
     name = "alto"
@@ -87,17 +90,21 @@ class AltoBackend:
         *,
         machine: Optional[MachineSpec] = None,
         num_threads: Optional[int] = None,
-        backend: str = "serial",
+        exec_backend: Optional[str] = None,
         counter: TrafficCounter = NULL_COUNTER,
+        tracer: Tracer = NULL_TRACER,
+        **deprecated,
     ) -> None:
+        num_threads, exec_backend = resolve_engine_aliases(
+            type(self).__name__, num_threads, exec_backend, deprecated
+        )
         self.tensor = tensor
         self.rank = rank
         self.counter = counter
-        threads = num_threads if num_threads is not None else (
-            machine.num_threads if machine else 1
-        )
+        self.tracer = tracer
+        threads = resolve_num_threads(machine, num_threads)
         self.alto = AltoTensor.from_coo(tensor)
-        self.pool = SimulatedPool(threads, backend)
+        self.pool = SimulatedPool(threads, exec_backend, tracer=tracer)
         self.shards = ShardedTrafficCounter.like(counter, threads)
         self.partitions = self.alto.partitions(threads)
         self.mode_order: Tuple[int, ...] = tuple(range(tensor.ndim))
@@ -132,6 +139,27 @@ class AltoBackend:
     def mttkrp_level(self, factors: Sequence[np.ndarray], level: int) -> np.ndarray:
         """From-scratch MTTKRP for mode ``level`` over equal-nnz chunks."""
         mode = self.mode_order[level]
+        attrs = dict(
+            level=level,
+            mode=int(mode),
+            nnz=int(self.tensor.nnz),
+            threads=self.num_threads,
+        )
+        if level == 0:
+            span = self.tracer.span(
+                "mttkrp.mode0", counter=self.counter, **attrs
+            )
+        else:
+            span = self.tracer.span(
+                "mttkrp.mode_level", counter=self.counter, source="recompute",
+                **attrs,
+            )
+        with span:
+            return self._mttkrp_level_impl(factors, mode)
+
+    def _mttkrp_level_impl(
+        self, factors: Sequence[np.ndarray], mode: int
+    ) -> np.ndarray:
         d = self.tensor.ndim
         n_out = self.tensor.shape[mode]
         out = np.zeros((n_out, self.rank))

@@ -36,10 +36,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..compat import resolve_engine_aliases
+from ..engines.base import EngineBase, resolve_num_threads
 from ..ops.partial import PartialTensor, contract_modes, from_coo, reduce_to_matrix
 from ..parallel.counters import NULL_COUNTER, TrafficCounter
 from ..parallel.machine import MachineSpec
 from ..tensor.coo import CooTensor
+from ..trace import NULL_TRACER, Tracer
 
 __all__ = ["DimTreeBackend", "build_mode_tree"]
 
@@ -69,7 +72,7 @@ def build_mode_tree(ndim: int) -> Dict[ModeSet, Tuple[ModeSet, ...]]:
     return tree
 
 
-class DimTreeBackend:
+class DimTreeBackend(EngineBase):
     """Dimension-tree memoized MTTKRP backend."""
 
     name = "dimtree"
@@ -81,15 +84,22 @@ class DimTreeBackend:
         *,
         machine: Optional[MachineSpec] = None,
         num_threads: Optional[int] = None,
-        backend: str = "serial",
+        exec_backend: Optional[str] = None,
         counter: TrafficCounter = NULL_COUNTER,
+        tracer: Tracer = NULL_TRACER,
+        **deprecated,
     ) -> None:
+        num_threads, exec_backend = resolve_engine_aliases(
+            type(self).__name__, num_threads, exec_backend, deprecated
+        )
+        # The BDT walk is coordinator-side dense algebra; ``exec_backend``
+        # is accepted for signature uniformity but has no pool to drive.
+        self.exec_backend = exec_backend
         self.tensor = tensor
         self.rank = rank
         self.counter = counter
-        self.num_threads = num_threads if num_threads is not None else (
-            machine.num_threads if machine else 1
-        )
+        self.tracer = tracer
+        self.num_threads = resolve_num_threads(machine, num_threads)
         d = tensor.ndim
         self.mode_order: Tuple[int, ...] = tuple(range(d))
         self.tree = build_mode_tree(d)
@@ -156,6 +166,27 @@ class DimTreeBackend:
     def mttkrp_level(self, factors: Sequence[np.ndarray], level: int) -> np.ndarray:
         """MTTKRP for mode ``level`` via the leaf's ancestor chain."""
         mode = self.mode_order[level]
+        attrs = dict(
+            level=level,
+            mode=int(mode),
+            nnz=int(self.tensor.nnz),
+            threads=self.num_threads,
+        )
+        if level == 0:
+            span = self.tracer.span(
+                "mttkrp.mode0", counter=self.counter, **attrs
+            )
+        else:
+            span = self.tracer.span(
+                "mttkrp.mode_level", counter=self.counter, source="dimtree",
+                **attrs,
+            )
+        with span:
+            return self._mttkrp_level_impl(factors, mode)
+
+    def _mttkrp_level_impl(
+        self, factors: Sequence[np.ndarray], mode: int
+    ) -> np.ndarray:
         leaf: ModeSet = (mode,)
         parent = self._parents[leaf]
         parent_partial = self._materialize(parent, factors)

@@ -25,23 +25,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..compat import resolve_engine_aliases
 from ..core.memoization import SAVE_NONE
 from ..core.mttkrp import MemoizedMttkrp
+from ..engines.base import EngineBase, resolve_num_threads
 from ..parallel.counters import NULL_COUNTER, TrafficCounter
 from ..parallel.machine import MachineSpec
 from ..tensor.coo import CooTensor
 from ..tensor.csf import CsfTensor, default_mode_order
+from ..trace import NULL_TRACER, Tracer
 
 __all__ = ["Splatt1", "Splatt2", "SplattAll"]
 
 
-def _threads(machine: Optional[MachineSpec], num_threads: Optional[int]) -> int:
-    if num_threads is not None:
-        return num_threads
-    return machine.num_threads if machine else 1
-
-
-class Splatt1:
+class Splatt1(EngineBase):
     """Single-CSF SPLATT: no memoization, slice distribution."""
 
     name = "splatt-1"
@@ -53,20 +50,27 @@ class Splatt1:
         *,
         machine: Optional[MachineSpec] = None,
         num_threads: Optional[int] = None,
-        backend: str = "serial",
+        exec_backend: Optional[str] = None,
         counter: TrafficCounter = NULL_COUNTER,
+        tracer: Tracer = NULL_TRACER,
+        **deprecated,
     ) -> None:
+        num_threads, exec_backend = resolve_engine_aliases(
+            type(self).__name__, num_threads, exec_backend, deprecated
+        )
         self.tensor = tensor
         self.rank = rank
+        self.tracer = tracer
         self.csf = CsfTensor.from_coo(tensor, default_mode_order(tensor.shape))
         self.engine = MemoizedMttkrp(
             self.csf,
             rank,
             plan=SAVE_NONE,
-            num_threads=_threads(machine, num_threads),
+            num_threads=resolve_num_threads(machine, num_threads),
             partition="slice",
-            backend=backend,
+            exec_backend=exec_backend,
             counter=counter,
+            tracer=tracer,
         )
         self.mode_order: Tuple[int, ...] = self.csf.mode_order
 
@@ -80,6 +84,17 @@ class Splatt1:
         """Imbalance stretch of the slice schedule (level-independent)."""
         return self.engine.partition.max_over_mean
 
+    @property
+    def num_threads(self) -> int:
+        return self.engine.num_threads
+
+    def per_thread_traffic(self) -> List[float]:
+        return self.engine.shards.per_thread_totals()
+
+    def close(self) -> None:
+        """Release the inner engine's resources (shm under processes)."""
+        self.engine.close()
+
     def tensor_bytes(self) -> int:
         """Tensor storage footprint (one CSF copy)."""
         return self.csf.total_bytes()
@@ -88,7 +103,7 @@ class Splatt1:
         return f"{self.name}: order={self.mode_order}"
 
 
-class SplattAll:
+class SplattAll(EngineBase):
     """One CSF per mode: every MTTKRP is a root-mode sweep."""
 
     name = "splatt-all"
@@ -100,12 +115,18 @@ class SplattAll:
         *,
         machine: Optional[MachineSpec] = None,
         num_threads: Optional[int] = None,
-        backend: str = "serial",
+        exec_backend: Optional[str] = None,
         counter: TrafficCounter = NULL_COUNTER,
+        tracer: Tracer = NULL_TRACER,
+        **deprecated,
     ) -> None:
+        num_threads, exec_backend = resolve_engine_aliases(
+            type(self).__name__, num_threads, exec_backend, deprecated
+        )
         self.tensor = tensor
         self.rank = rank
-        threads = _threads(machine, num_threads)
+        self.tracer = tracer
+        threads = resolve_num_threads(machine, num_threads)
         d = tensor.ndim
         self.mode_order: Tuple[int, ...] = tuple(range(d))
         self.engines: List[MemoizedMttkrp] = []
@@ -124,18 +145,37 @@ class SplattAll:
                     plan=SAVE_NONE,
                     num_threads=threads,
                     partition="slice",
-                    backend=backend,
+                    exec_backend=exec_backend,
                     counter=counter,
+                    tracer=tracer,
                 )
             )
+        self._last_engine = self.engines[0] if self.engines else None
 
     def mttkrp_level(self, factors: Sequence[np.ndarray], level: int) -> np.ndarray:
         """Mode-``level`` MTTKRP as a root sweep on its dedicated CSF."""
+        self._last_engine = self.engines[level]
         return self.engines[level].mode0(factors)
 
     def level_load_factor(self, level: int) -> float:
         """Imbalance stretch of the slice schedule of ``level``'s tree."""
         return self.engines[level].partition.max_over_mean
+
+    @property
+    def num_threads(self) -> int:
+        return self.engines[0].num_threads
+
+    def per_thread_traffic(self) -> List[float]:
+        """Most recent kernel's per-thread totals (each mode has its own
+        engine; report the one that last ran)."""
+        if self._last_engine is None:
+            return []
+        return self._last_engine.shards.per_thread_totals()
+
+    def close(self) -> None:
+        """Release every per-mode engine's resources."""
+        for eng in self.engines:
+            eng.close()
 
     def tensor_bytes(self) -> int:
         """Tensor storage footprint (``d`` CSF copies)."""
@@ -145,7 +185,7 @@ class SplattAll:
         return f"{self.name}: {len(self.engines)} CSF copies"
 
 
-class Splatt2:
+class Splatt2(EngineBase):
     """Two CSFs — one rooted at the shortest mode, one at the longest.
 
     Each mode's MTTKRP runs on the tree where it sits at the smaller
@@ -161,12 +201,18 @@ class Splatt2:
         *,
         machine: Optional[MachineSpec] = None,
         num_threads: Optional[int] = None,
-        backend: str = "serial",
+        exec_backend: Optional[str] = None,
         counter: TrafficCounter = NULL_COUNTER,
+        tracer: Tracer = NULL_TRACER,
+        **deprecated,
     ) -> None:
+        num_threads, exec_backend = resolve_engine_aliases(
+            type(self).__name__, num_threads, exec_backend, deprecated
+        )
         self.tensor = tensor
         self.rank = rank
-        threads = _threads(machine, num_threads)
+        self.tracer = tracer
+        threads = resolve_num_threads(machine, num_threads)
         d = tensor.ndim
         base_order = default_mode_order(tensor.shape)
         longest = base_order[-1]
@@ -181,8 +227,9 @@ class Splatt2:
             plan=SAVE_NONE,
             num_threads=threads,
             partition="slice",
-            backend=backend,
+            exec_backend=exec_backend,
             counter=counter,
+            tracer=tracer,
         )
         self.engine_a = MemoizedMttkrp(self.csf_a, rank, **kwargs)
         self.engine_b = MemoizedMttkrp(self.csf_b, rank, **kwargs)
@@ -196,10 +243,12 @@ class Splatt2:
                 self._dispatch[mode] = (self.engine_b, lvl_b)
             else:
                 self._dispatch[mode] = (self.engine_a, lvl_a)
+        self._last_engine = self.engine_a
 
     def mttkrp_level(self, factors: Sequence[np.ndarray], level: int) -> np.ndarray:
         """Mode-``level`` MTTKRP on whichever tree holds it shallower."""
         engine, lvl = self._dispatch[level]
+        self._last_engine = engine
         if lvl == 0:
             return engine.mode0(factors)
         # No memo plan -> mode_level recomputes from scratch; it only
@@ -211,6 +260,20 @@ class Splatt2:
         """Imbalance stretch of whichever tree serves ``level``."""
         engine, _lvl = self._dispatch[level]
         return engine.partition.max_over_mean
+
+    @property
+    def num_threads(self) -> int:
+        return self.engine_a.num_threads
+
+    def per_thread_traffic(self) -> List[float]:
+        """Most recent kernel's per-thread totals (from whichever tree's
+        engine last ran)."""
+        return self._last_engine.shards.per_thread_totals()
+
+    def close(self) -> None:
+        """Release both trees' engine resources."""
+        self.engine_a.close()
+        self.engine_b.close()
 
     def tensor_bytes(self) -> int:
         """Tensor storage footprint (two CSF copies)."""

@@ -26,16 +26,17 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..compat import resolve_engine_aliases
 from ..core.csf_kernels import scatter_add_rows, thread_upward_sweep
-from ..core.memoization import SAVE_NONE
-from ..core.mttkrp import MemoizedMttkrp
 from ..core.proc_tasks import counter_state, merge_counter_state
+from ..engines.base import EngineBase, resolve_num_threads
 from ..parallel.counters import NULL_COUNTER, ShardedTrafficCounter, TrafficCounter
 from ..parallel.executor import SimulatedPool
 from ..parallel.machine import MachineSpec
 from ..parallel.shm import SharedArena, ShmToken, attach
 from ..tensor.coo import CooTensor
 from ..tensor.csf import CsfTensor
+from ..trace import NULL_TRACER, Tracer
 
 __all__ = ["TacoBackend"]
 
@@ -98,7 +99,7 @@ def _taco_sweep_task(
     return results, counter_state(counter)
 
 
-class TacoBackend:
+class TacoBackend(EngineBase):
     """Per-mode generated-kernel backend with chunk auto-tuning."""
 
     name = "taco"
@@ -110,19 +111,23 @@ class TacoBackend:
         *,
         machine: Optional[MachineSpec] = None,
         num_threads: Optional[int] = None,
-        backend: str = "serial",
+        exec_backend: Optional[str] = None,
         counter: TrafficCounter = NULL_COUNTER,
+        tracer: Tracer = NULL_TRACER,
         autotune: bool = True,
+        **deprecated,
     ) -> None:
+        num_threads, exec_backend = resolve_engine_aliases(
+            type(self).__name__, num_threads, exec_backend, deprecated
+        )
         self.tensor = tensor
         self.rank = rank
         self.counter = counter
-        threads = num_threads if num_threads is not None else (
-            machine.num_threads if machine else 1
-        )
+        self.tracer = tracer
+        threads = resolve_num_threads(machine, num_threads)
         d = tensor.ndim
         self.mode_order: Tuple[int, ...] = tuple(range(d))
-        self.pool = SimulatedPool(threads, backend)
+        self.pool = SimulatedPool(threads, exec_backend, tracer=tracer)
         self.shards = ShardedTrafficCounter.like(counter, threads)
         self.csfs: List[CsfTensor] = []
         for mode in range(d):
@@ -295,7 +300,24 @@ class TacoBackend:
     # ------------------------------------------------------------------
     def mttkrp_level(self, factors: Sequence[np.ndarray], level: int) -> np.ndarray:
         """Mode-``level`` MTTKRP on its dedicated CSF with tuned chunks."""
-        return self._sweep_mode(self.mode_order[level], factors)
+        mode = self.mode_order[level]
+        attrs = dict(
+            level=level,
+            mode=int(mode),
+            nnz=int(self.tensor.nnz),
+            threads=self.pool.num_threads,
+        )
+        if level == 0:
+            span = self.tracer.span(
+                "mttkrp.mode0", counter=self.counter, **attrs
+            )
+        else:
+            span = self.tracer.span(
+                "mttkrp.mode_level", counter=self.counter, source="recompute",
+                **attrs,
+            )
+        with span:
+            return self._sweep_mode(mode, factors)
 
     def level_load_factor(self, level: int) -> float:
         """Imbalance stretch of the chunked round-robin schedule for
@@ -312,6 +334,10 @@ class TacoBackend:
             loads[ti % pool_t] += leaf_hi - leaf_lo
         mean = sum(loads) / pool_t
         return max(loads) / mean if mean else 1.0
+
+    @property
+    def num_threads(self) -> int:
+        return self.pool.num_threads
 
     def tensor_bytes(self) -> int:
         """Tensor storage footprint (``d`` CSF copies)."""

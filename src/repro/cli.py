@@ -31,11 +31,13 @@ from typing import List, Optional
 import numpy as np
 
 from .analysis import format_table, relative_performance, run_comparison
-from .baselines import ALL_BACKENDS
 from .core import plan_decomposition
 from .cpd import cp_als
+from .engines import create_engine, engine_names
 from .parallel import MACHINES
+from .parallel.counters import TrafficCounter
 from .parallel.executor import EXEC_BACKENDS
+from .trace import NULL_TRACER, Tracer, write_chrome_trace, write_jsonl
 from .tensor import (
     TABLE1_SPECS,
     CooTensor,
@@ -86,7 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
         """The shared method/execution selectors (one definition — the
         ``decompose`` and ``profile`` copies previously drifted apart)."""
         p.add_argument(
-            "--backend", choices=sorted(ALL_BACKENDS), default="stef",
+            "--backend", choices=engine_names(), default="stef",
             help="MTTKRP method (default stef)",
         )
         p.add_argument(
@@ -110,17 +112,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec.add_argument("--iters", type=int, default=20)
     p_dec.add_argument("--tol", type=float, default=1e-4)
     p_dec.add_argument("--init", choices=["random", "hosvd"], default="random")
+    p_dec.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a structured trace of the run: spans + metrics as "
+        "JSONL at PATH, plus a Chrome trace-event view next to it "
+        "(PATH with a .chrome.json suffix)",
+    )
 
     p_cmp = sub.add_parser("compare", help="all methods, one tensor")
     add_common(p_cmp)
     p_cmp.add_argument(
-        "--methods", nargs="+", default=list(ALL_BACKENDS),
-        choices=sorted(ALL_BACKENDS),
+        "--methods", nargs="+", default=engine_names(),
+        choices=engine_names(),
     )
 
     p_prof = sub.add_parser("profile", help="per-mode cost breakdown")
     add_common(p_prof)
     add_method_args(p_prof)
+    p_prof.add_argument(
+        "--trace-chrome", metavar="PATH", default=None,
+        help="also write a Chrome trace-event file of the profiled "
+        "MTTKRP set (open in chrome://tracing or Perfetto)",
+    )
 
     p_re = sub.add_parser(
         "reorder", help="Lexi-Order a tensor and write the relabeled .tns"
@@ -174,32 +187,58 @@ def _cmd_plan(args, out) -> int:
     return 0
 
 
+def _chrome_path(jsonl_path: str) -> str:
+    """The Chrome trace-event companion of a JSONL trace path."""
+    base, ext = os.path.splitext(jsonl_path)
+    return (base if ext in (".jsonl", ".json") else jsonl_path) + ".chrome.json"
+
+
 def _cmd_decompose(args, out) -> int:
     tensor = load_tensor(args.tensor, args.nnz, args.seed)
     machine = MACHINES[args.machine]
-    backend = ALL_BACKENDS[args.backend](
-        tensor, args.rank, machine=machine, num_threads=args.threads,
-        backend=args.exec_backend,
-    )
-    if hasattr(backend, "describe"):
-        print(backend.describe(), file=out)
-    result = cp_als(
-        tensor,
-        args.rank,
-        backend=backend,
-        max_iters=args.iters,
-        tol=args.tol,
-        init=args.init,
-        seed=args.seed,
-        callback=lambda it, fit: print(
-            f"  iter {it + 1:3d}  fit {fit:.5f}", file=out
-        ),
-    )
+    tracer = NULL_TRACER
+    counter = None
+    if args.trace:
+        tracer = Tracer(
+            meta={
+                "command": "decompose",
+                "tensor": args.tensor,
+                "backend": args.backend,
+                "exec_backend": args.exec_backend,
+                "rank": args.rank,
+                "machine": args.machine,
+            }
+        )
+        counter = TrafficCounter(cache_elements=machine.cache_elements)
+    with create_engine(
+        args.backend, tensor, args.rank, machine=machine,
+        num_threads=args.threads, exec_backend=args.exec_backend,
+        tracer=tracer, **({"counter": counter} if counter is not None else {}),
+    ) as engine:
+        print(engine.describe(), file=out)
+        result = cp_als(
+            tensor,
+            args.rank,
+            engine=engine,
+            max_iters=args.iters,
+            tol=args.tol,
+            init=args.init,
+            seed=args.seed,
+            tracer=tracer,
+            callback=lambda it, fit: print(
+                f"  iter {it + 1:3d}  fit {fit:.5f}", file=out
+            ),
+        )
     print(
         f"{'converged' if result.converged else 'stopped'} after "
         f"{result.iterations} iterations; final fit {result.final_fit:.5f}",
         file=out,
     )
+    if args.trace:
+        write_jsonl(tracer, args.trace)
+        chrome = _chrome_path(args.trace)
+        write_chrome_trace(tracer, chrome)
+        print(f"trace: {args.trace} (+ {chrome})", file=out)
     return 0
 
 
@@ -232,12 +271,27 @@ def _cmd_profile(args, out) -> int:
 
     tensor = load_tensor(args.tensor, args.nnz, args.seed)
     machine = MACHINES[args.machine]
+    tracer = NULL_TRACER
+    if args.trace_chrome:
+        tracer = Tracer(
+            meta={
+                "command": "profile",
+                "tensor": args.tensor,
+                "backend": args.backend,
+                "exec_backend": args.exec_backend,
+                "rank": args.rank,
+                "machine": args.machine,
+            }
+        )
     profile = profile_method(
         args.backend, tensor, args.rank, machine,
         num_threads=args.threads, tensor_name=args.tensor,
-        exec_backend=args.exec_backend,
+        exec_backend=args.exec_backend, tracer=tracer,
     )
     print(profile.format(), file=out)
+    if args.trace_chrome:
+        write_chrome_trace(tracer, args.trace_chrome)
+        print(f"chrome trace: {args.trace_chrome}", file=out)
     return 0
 
 

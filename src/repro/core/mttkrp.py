@@ -47,10 +47,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..compat import canonicalize_kwargs
+from ..engines.base import EngineBase
 from ..parallel.counters import NULL_COUNTER, ShardedTrafficCounter, TrafficCounter
 from ..parallel.executor import ReplicatedArray, SimulatedPool
 from ..parallel.partition import ThreadPartition, nnz_partition, slice_partition
 from ..tensor.csf import CsfTensor
+from ..trace import NULL_TRACER, Tracer
 from .csf_kernels import scatter_add_rows, thread_downward_k, thread_upward_sweep
 from .memoization import SAVE_NONE, MemoPlan
 from .proc_tasks import (
@@ -67,7 +70,7 @@ from .proc_tasks import (
 __all__ = ["MemoizedMttkrp"]
 
 
-class MemoizedMttkrp:
+class MemoizedMttkrp(EngineBase):
     """Executes STeF's memoized MTTKRP sequence over one CSF tensor.
 
     Parameters
@@ -83,14 +86,21 @@ class MemoizedMttkrp:
     partition:
         ``"nnz"`` — Algorithm 3 (default); ``"slice"`` — prior-work
         root-slice distribution (the Fig. 6.1 ablation arm).
-    backend:
+    exec_backend:
         ``"serial"`` (deterministic), ``"threads"`` (real thread pool),
         or ``"processes"`` (persistent multiprocessing workers over
         shared-memory segments — bit-identical to ``serial``, scales
-        wall-clock with cores).
+        wall-clock with cores).  The old spelling ``backend=`` is
+        accepted with a deprecation warning.
     counter:
         Traffic accounting target; defaults to the no-op counter.
+    tracer:
+        Structured-tracing target (:mod:`repro.trace`); kernel spans
+        carry this engine's exact counter deltas.  Defaults to the
+        no-op tracer.
     """
+
+    name = "memoized-mttkrp"
 
     def __init__(
         self,
@@ -100,15 +110,29 @@ class MemoizedMttkrp:
         plan: MemoPlan = SAVE_NONE,
         num_threads: int = 1,
         partition: str = "nnz",
-        backend: str = "serial",
+        exec_backend: Optional[str] = None,
         counter: TrafficCounter = NULL_COUNTER,
+        tracer: Tracer = NULL_TRACER,
+        **deprecated,
     ) -> None:
+        legacy = canonicalize_kwargs(
+            "MemoizedMttkrp", deprecated, {"backend": "exec_backend"}
+        )
+        if "exec_backend" in legacy:
+            if exec_backend is not None:
+                raise TypeError(
+                    "MemoizedMttkrp() got both exec_backend= and its "
+                    "deprecated alias backend="
+                )
+            exec_backend = legacy["exec_backend"]
+        backend = exec_backend if exec_backend is not None else "serial"
         plan.validate(csf.ndim)
         self.csf = csf
         self.rank = rank
         self.plan = plan
         self.counter = counter
-        self.pool = SimulatedPool(num_threads, backend)
+        self.tracer = tracer
+        self.pool = SimulatedPool(num_threads, backend, tracer=tracer)
         if partition == "nnz":
             self.partition: ThreadPartition = nnz_partition(csf, num_threads)
         elif partition == "slice":
@@ -221,6 +245,19 @@ class MemoizedMttkrp:
         Returns the dense ``N_root × R`` result in the *original* index
         space of the root mode.
         """
+        # Kernel span: carries this kernel's exact traffic deltas (the
+        # only span level that passes counter= — see repro.trace).
+        with self.tracer.span(
+            "mttkrp.mode0",
+            counter=self.counter,
+            level=0,
+            mode=int(self.csf.mode_order[0]),
+            nnz=int(self.csf.values.shape[0]),
+            threads=self.num_threads,
+        ):
+            return self._mode0_impl(factors)
+
+    def _mode0_impl(self, factors: Sequence[np.ndarray]) -> np.ndarray:
         csf, d, rank = self.csf, self.csf.ndim, self.rank
         lf = self._level_factors(factors)
         part = self.partition
@@ -340,18 +377,32 @@ class MemoizedMttkrp:
     def mode_level(self, factors: Sequence[np.ndarray], u: int) -> np.ndarray:
         """MTTKRP for CSF level ``u``; ``mode0`` must have run this
         iteration so the plan's saved partials are populated."""
-        csf, d, rank = self.csf, self.csf.ndim, self.rank
+        csf, d = self.csf, self.csf.ndim
         if u == 0:
             return self.mode0(factors)
         if not 0 < u <= d - 1:
             raise ValueError(f"level {u} out of range")
         lf = self._level_factors(factors)
-        part = self.partition
         source = self.plan.source_level(u, d) if u < d - 1 else d - 1
         if source < d - 1 and source not in self.memo:
             raise RuntimeError(
                 f"plan saves P^({source}) but mode0 has not populated it"
             )
+        with self.tracer.span(
+            "mttkrp.mode_level",
+            counter=self.counter,
+            level=u,
+            source=source,
+            mode=int(csf.mode_order[u]),
+            nnz=int(csf.values.shape[0]),
+            threads=self.num_threads,
+        ):
+            return self._mode_level_impl(lf, u, source)
+
+    def _mode_level_impl(
+        self, lf: List[np.ndarray], u: int, source: int
+    ) -> np.ndarray:
+        csf, d, rank = self.csf, self.csf.ndim, self.rank
         out = np.zeros((csf.level_shape(u), rank))
         self.shards.reset()
 

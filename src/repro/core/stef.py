@@ -20,10 +20,13 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..compat import resolve_engine_aliases
+from ..engines.base import EngineBase, resolve_num_threads
 from ..parallel.counters import NULL_COUNTER, TrafficCounter
 from ..parallel.machine import MachineSpec
 from ..tensor.coo import CooTensor
 from ..tensor.csf import CsfTensor, default_mode_order
+from ..trace import NULL_TRACER, Tracer
 from .memoization import MemoPlan
 from .mttkrp import MemoizedMttkrp
 from .planner import PlanDecision, plan_decomposition
@@ -31,7 +34,7 @@ from .planner import PlanDecision, plan_decomposition
 __all__ = ["Stef"]
 
 
-class Stef:
+class Stef(EngineBase):
     """Model-driven memoized MTTKRP backend (the paper's STeF).
 
     Parameters
@@ -51,11 +54,15 @@ class Stef:
         Force the mode-order decision (ablations); default model choice.
     partition:
         ``"nnz"`` (Algorithm 3) or ``"slice"`` (prior work, ablation).
-    backend:
+    exec_backend:
         ``"serial"``, ``"threads"``, or ``"processes"`` pool execution
-        (see :class:`~repro.parallel.executor.SimulatedPool`).
+        (see :class:`~repro.parallel.executor.SimulatedPool`).  The old
+        spelling ``backend=`` is accepted with a deprecation warning.
     counter:
         Traffic accounting target.
+    tracer:
+        Structured-tracing target (:mod:`repro.trace`); the no-op
+        tracer by default.
 
     Attributes
     ----------
@@ -83,15 +90,19 @@ class Stef:
         plan: Optional[MemoPlan] = None,
         swap_last_two: Optional[bool] = None,
         partition: str = "nnz",
-        backend: str = "serial",
+        exec_backend: Optional[str] = None,
         counter: TrafficCounter = NULL_COUNTER,
+        tracer: Tracer = NULL_TRACER,
+        **deprecated,
     ) -> None:
+        num_threads, exec_backend = resolve_engine_aliases(
+            type(self).__name__, num_threads, exec_backend, deprecated
+        )
         self.tensor = tensor
         self.rank = rank
         self.machine = machine
-        threads = num_threads if num_threads is not None else (
-            machine.num_threads if machine else 1
-        )
+        self.tracer = tracer
+        threads = resolve_num_threads(machine, num_threads)
         base_order = default_mode_order(tensor.shape)
         base_csf = CsfTensor.from_coo(tensor, base_order)
 
@@ -122,14 +133,18 @@ class Stef:
         self.csf = base_csf.swapped_last_two() if swap else base_csf
         self.swap_last_two = swap
         self.plan = chosen_plan
+        #: Normalized pool-execution mode (``"serial"`` when defaulted).
+        self.exec_backend = exec_backend
+        self.partition = partition
         self.engine = MemoizedMttkrp(
             self.csf,
             rank,
             plan=chosen_plan,
             num_threads=threads,
             partition=partition,
-            backend=backend,
+            exec_backend=exec_backend,
             counter=counter,
+            tracer=tracer,
         )
 
     # ------------------------------------------------------------------
@@ -182,7 +197,8 @@ class Stef:
         :func:`repro.cpd.als.cp_als`; keyword arguments pass through)."""
         from ..cpd.als import cp_als
 
-        return cp_als(self.tensor, self.rank, backend=self, **als_kwargs)
+        als_kwargs.setdefault("tracer", self.tracer)
+        return cp_als(self.tensor, self.rank, engine=self, **als_kwargs)
 
     def describe(self) -> str:
         """One-line configuration summary for harness output."""

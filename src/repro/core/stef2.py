@@ -23,6 +23,7 @@ from ..parallel.counters import NULL_COUNTER, TrafficCounter
 from ..parallel.machine import MachineSpec
 from ..tensor.coo import CooTensor
 from ..tensor.csf import CsfTensor
+from ..trace import NULL_TRACER, Tracer
 from .memoization import SAVE_NONE, MemoPlan
 from .mttkrp import MemoizedMttkrp
 from .stef import Stef
@@ -50,8 +51,10 @@ class Stef2(Stef):
         plan: Optional[MemoPlan] = None,
         swap_last_two: Optional[bool] = None,
         partition: str = "nnz",
-        backend: str = "serial",
+        exec_backend: Optional[str] = None,
         counter: TrafficCounter = NULL_COUNTER,
+        tracer: Tracer = NULL_TRACER,
+        **deprecated,
     ) -> None:
         super().__init__(
             tensor,
@@ -61,8 +64,10 @@ class Stef2(Stef):
             plan=plan,
             swap_last_two=swap_last_two,
             partition=partition,
-            backend=backend,
+            exec_backend=exec_backend,
             counter=counter,
+            tracer=tracer,
+            **deprecated,
         )
         d = tensor.ndim
         leaf_mode = self.csf.mode_order[d - 1]
@@ -76,9 +81,10 @@ class Stef2(Stef):
             rank,
             plan=SAVE_NONE,
             num_threads=self.num_threads,
-            partition=partition,
-            backend=backend,
+            partition=self.partition,
+            exec_backend=self.exec_backend,
             counter=counter,
+            tracer=tracer,
         )
 
     def mttkrp_level(self, factors: Sequence[np.ndarray], level: int) -> np.ndarray:

@@ -26,8 +26,10 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from ..compat import canonicalize_kwargs
 from ..ops.hadamard import gram, normalize_columns, solve_factor
 from ..tensor.coo import CooTensor
+from ..trace import NULL_TRACER, Tracer
 from .init import hosvd_init, random_init
 from .kruskal import KruskalTensor
 
@@ -98,7 +100,7 @@ def cp_als(
     tensor: CooTensor,
     rank: int,
     *,
-    backend=None,
+    engine=None,
     max_iters: int = 50,
     tol: float = 1e-5,
     init: str = "random",
@@ -110,6 +112,8 @@ def cp_als(
     checkpoint_path: Optional[str] = None,
     checkpoint_every: int = 5,
     resume: bool = False,
+    tracer: Tracer = NULL_TRACER,
+    **deprecated,
 ) -> AlsResult:
     """Compute the CP decomposition of a sparse tensor.
 
@@ -119,10 +123,12 @@ def cp_als(
         Input in COO form.
     rank:
         Number of rank-one components ``R``.
-    backend:
-        An MTTKRP backend instance; default constructs
+    engine:
+        An MTTKRP engine instance (see
+        :func:`repro.engines.create_engine`); default constructs
         :class:`~repro.core.stef.Stef` with the model-chosen
-        configuration.
+        configuration.  The old spelling ``backend=`` is accepted with
+        a deprecation warning.
     max_iters, tol:
         Convergence controls (fit-change threshold).
     init:
@@ -150,11 +156,23 @@ def cp_als(
         ``init``.  Resuming a run that already reached ``max_iters``
         returns the checkpointed model untouched and leaves the
         checkpoint file as it was.
+    tracer:
+        Structured-tracing target (:mod:`repro.trace`): each iteration
+        records an ``als.iteration`` span enclosing the engine's kernel
+        spans.  The no-op tracer by default.
     """
-    if backend is None:
+    legacy = canonicalize_kwargs("cp_als", deprecated, {"backend": "engine"})
+    if "engine" in legacy:
+        if engine is not None:
+            raise TypeError(
+                "cp_als() got both engine= and its deprecated alias backend="
+            )
+        engine = legacy["engine"]
+    if engine is None:
         from ..core.stef import Stef
 
-        backend = Stef(tensor, rank)
+        engine = Stef(tensor, rank, tracer=tracer)
+    backend = engine
 
     start_iter = 0
     factors: Optional[List[np.ndarray]] = None
@@ -208,7 +226,8 @@ def cp_als(
     prev_fit = -np.inf
     for it in range(start_iter, max_iters):
         t0 = time.perf_counter()
-        lambdas = als_iteration(backend, factors, ridge=ridge, nonneg=nonneg)
+        with tracer.span("als.iteration", iteration=it):
+            lambdas = als_iteration(backend, factors, ridge=ridge, nonneg=nonneg)
         iter_seconds.append(time.perf_counter() - t0)
         if checkpoint_path is not None and (it + 1) % checkpoint_every == 0:
             _write_checkpoint(it + 1, lambdas)

@@ -1,0 +1,156 @@
+"""repro.engines — the unified MTTKRP-engine registry and factory.
+
+Before this module existed, every consumer (the CLI, ``cp_als``, the
+benchmark harness, the stress driver) carried its own copy of the
+name → constructor dispatch.  Now there is exactly one:
+
+    from repro.engines import create_engine
+
+    with create_engine("stef2", tensor, rank, num_threads=8) as eng:
+        result = cp_als(tensor, rank, engine=eng)
+
+Every registered engine satisfies the :class:`MttkrpEngine` protocol —
+``mttkrp_level``, ``iteration_results``, ``per_thread_traffic``,
+``describe``, ``close`` (plus the ``mode_order`` attribute the ALS
+driver reads) — and inherits :class:`~repro.engines.base.EngineBase`,
+so each is a context manager whose ``__exit__`` releases shared-memory
+segments even on exceptions (the ``engine-protocol`` lint rule enforces
+the inheritance statically; ``tests/test_engines.py`` checks the
+protocol at runtime).
+
+Constructors share the canonical keyword set ``(tensor, rank, *,
+machine=None, num_threads=None, exec_backend="serial",
+counter=NULL_COUNTER, tracer=NULL_TRACER, ...engine-specific opts)``;
+deprecated spellings (``threads=``, ``backend=``) are accepted with a
+one-time :class:`DeprecationWarning` via :mod:`repro.compat`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol, Sequence, Tuple, Type, runtime_checkable
+
+import numpy as np
+
+from .base import EngineBase, resolve_num_threads
+
+__all__ = [
+    "MttkrpEngine",
+    "EngineBase",
+    "ENGINES",
+    "create_engine",
+    "engine_names",
+    "register_engine",
+    "resolve_num_threads",
+]
+
+
+@runtime_checkable
+class MttkrpEngine(Protocol):
+    """What the ALS driver, harness, and CLI require of an engine.
+
+    Engines additionally expose a ``mode_order`` tuple (update position →
+    original mode) and a ``name`` string; those are data members, which
+    ``runtime_checkable`` protocols cannot verify, so the registry's
+    :func:`register_engine` checks them explicitly.
+    """
+
+    def mttkrp_level(self, factors: Sequence[np.ndarray], level: int) -> np.ndarray:
+        """The MTTKRP result for update position ``level``."""
+
+    def iteration_results(
+        self, factors: Sequence[np.ndarray]
+    ) -> List[Tuple[int, np.ndarray]]:
+        """All MTTKRPs of one CPD iteration: ``[(mode, result), ...]``."""
+
+    def per_thread_traffic(self) -> List[float]:
+        """Most recent kernel's per-thread traffic totals."""
+
+    def describe(self) -> str:
+        """One-line configuration summary."""
+
+    def close(self) -> None:
+        """Release engine resources (idempotent)."""
+
+
+#: name → engine class; populated by :func:`register_engine` below and
+#: seeded from :mod:`repro.baselines` on first factory use.
+ENGINES: Dict[str, Type[EngineBase]] = {}
+
+_PROTOCOL_METHODS = (
+    "mttkrp_level",
+    "iteration_results",
+    "per_thread_traffic",
+    "describe",
+    "close",
+)
+
+
+def register_engine(name: str, cls: Type[EngineBase]) -> Type[EngineBase]:
+    """Register an engine class under ``name`` (idempotent re-register).
+
+    Raises ``TypeError`` unless ``cls`` inherits :class:`EngineBase` and
+    implements every :class:`MttkrpEngine` method — the same contract the
+    ``engine-protocol`` lint rule checks statically.
+    """
+    if not (isinstance(cls, type) and issubclass(cls, EngineBase)):
+        raise TypeError(
+            f"engine {name!r} must inherit repro.engines.EngineBase, "
+            f"got {cls!r}"
+        )
+    missing = [m for m in _PROTOCOL_METHODS if not callable(getattr(cls, m, None))]
+    if missing:
+        raise TypeError(
+            f"engine {name!r} does not implement the MttkrpEngine "
+            f"protocol: missing {missing}"
+        )
+    ENGINES[name] = cls
+    return cls
+
+
+def engine_names() -> List[str]:
+    """Sorted registered engine names (the CLI's ``--backend`` choices)."""
+    _ensure_seeded()
+    return sorted(ENGINES)
+
+
+def create_engine(name: str, tensor, rank: int, **opts) -> EngineBase:
+    """Construct the engine registered under ``name``.
+
+    All keyword options pass through to the engine constructor —
+    ``machine=``, ``num_threads=``, ``exec_backend=``, ``counter=``,
+    ``tracer=``, and engine-specific knobs like STeF's ``plan=`` /
+    ``swap_last_two=``.  This is the **only** supported construction
+    path for name-driven dispatch; consumers must not reimplement the
+    ``if name == ...`` ladder.
+    """
+    _ensure_seeded()
+    try:
+        cls = ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; registered engines: {engine_names()}"
+        ) from None
+    return cls(tensor, rank, **opts)
+
+
+_seeded = False
+
+
+def _ensure_seeded() -> None:
+    """Populate the registry with the built-in engines on first use.
+
+    Seeding is lazy because the engine implementations themselves import
+    :mod:`repro.engines.base` (via this package) at class-definition
+    time — an eager ``from ..baselines import ALL_BACKENDS`` here would
+    close that cycle while :mod:`repro.core.mttkrp` is still half
+    initialized.  Deferring to the first ``create_engine`` /
+    ``engine_names`` call keeps the import graph acyclic.
+    """
+    global _seeded
+    if _seeded:
+        return
+    _seeded = True
+    from ..baselines import ALL_BACKENDS
+
+    for name, cls in ALL_BACKENDS.items():
+        register_engine(name, cls)

@@ -8,11 +8,13 @@ the framework registry at import time:
 * :mod:`.counter_discipline` — ``counter-category``
 * :mod:`.hot_path` — ``hot-path``
 * :mod:`.dtype_discipline` — ``dtype-discipline``
+* :mod:`.engine_protocol` — ``engine-protocol``
 """
 
 from . import (
     counter_discipline,
     dtype_discipline,
+    engine_protocol,
     hot_path,
     process_safety,
     thread_safety,
@@ -21,6 +23,7 @@ from . import (
 __all__ = [
     "counter_discipline",
     "dtype_discipline",
+    "engine_protocol",
     "hot_path",
     "process_safety",
     "thread_safety",

@@ -1,0 +1,98 @@
+"""``engine-protocol`` — structural conformance of MTTKRP engine classes.
+
+Every engine registered in :mod:`repro.engines` must inherit
+:class:`~repro.engines.base.EngineBase` (directly or through another
+engine) so the whole fleet shares one lifecycle: context-manager
+``close()`` semantics, the generic ``iteration_results`` loop, and the
+``per_thread_traffic`` observability channel.  The factory enforces this
+at registration time, but only for classes that actually pass through
+``register_engine`` — a *new* engine written as a bare class works fine
+under direct construction and then explodes the first time someone puts
+it behind ``create_engine`` or a ``with`` block.
+
+This rule catches the drift statically: any class that *looks like* an
+engine — it defines a ``mttkrp_level`` method **and** a class-level
+literal ``name = "..."`` attribute (the registry-name convention every
+engine follows) — must list at least one base class.  A base-less engine
+class is exactly the pre-registry shape this repository migrated away
+from; inheriting any base keeps the check honest across files (``Stef2``
+inherits ``Stef``, which the rule verifies in its own module against
+``EngineBase`` directly).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..framework import FileContext, Finding, Rule, register
+
+
+def _class_literal_name(node: ast.ClassDef) -> Optional[str]:
+    """The class-level ``name = "<literal>"`` value, if present."""
+    for stmt in node.body:
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "name":
+                value = stmt.value
+                if isinstance(value, ast.Constant) and isinstance(
+                    value.value, str
+                ):
+                    return value.value
+    return None
+
+
+def _has_method(node: ast.ClassDef, method: str) -> bool:
+    return any(
+        isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and stmt.name == method
+        for stmt in node.body
+    )
+
+
+def _meaningful_bases(node: ast.ClassDef) -> list:
+    """Base classes other than the implicit/explicit ``object``."""
+    return [
+        b
+        for b in node.bases
+        if not (isinstance(b, ast.Name) and b.id == "object")
+    ]
+
+
+@register
+class EngineProtocolRule(Rule):
+    id = "engine-protocol"
+    description = (
+        "classes with a literal `name` attribute and a mttkrp_level() "
+        "method are MTTKRP engines and must inherit EngineBase "
+        "(directly or via another engine)"
+    )
+    paper_ref = "repro.engines (unified engine registry)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            engine_name = _class_literal_name(node)
+            if engine_name is None or not _has_method(node, "mttkrp_level"):
+                continue
+            if node.name == "EngineBase":
+                continue
+            if not _meaningful_bases(node):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"engine class `{node.name}` (name={engine_name!r}) "
+                    "has no base class: inherit "
+                    "repro.engines.base.EngineBase (or another engine) so "
+                    "it gets the shared context-manager lifecycle, "
+                    "iteration_results, and per_thread_traffic defaults — "
+                    "register_engine() rejects bare classes",
+                )
+
+
+__all__ = ["EngineProtocolRule"]

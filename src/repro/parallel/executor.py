@@ -36,11 +36,14 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 from numpy.typing import DTypeLike
+
+from ..trace import NULL_TRACER, Tracer
 
 __all__ = [
     "SimulatedPool",
@@ -105,6 +108,20 @@ def shutdown_worker_pools() -> None:
 atexit.register(shutdown_worker_pools)
 
 
+def _timed_task(task_payload: Tuple[Callable[[Any], T], Any]) -> Tuple[float, float, T]:
+    """Run ``task(payload)`` bracketed by ``perf_counter`` reads.
+
+    Module-level so it pickles by reference into process workers; the
+    wrapped task function itself is likewise pickled by reference, so
+    the traced dispatch crosses the process boundary exactly like the
+    untraced one.
+    """
+    task, payload = task_payload
+    t0 = time.perf_counter()
+    out = task(payload)
+    return t0, time.perf_counter(), out
+
+
 class SimulatedPool:
     """Runs ``fn(th)`` for every thread id and collects the results.
 
@@ -121,13 +138,22 @@ class SimulatedPool:
         (closures are not picklable — see :mod:`repro.core.proc_tasks`).
     """
 
-    def __init__(self, num_threads: int, backend: str = "serial") -> None:
+    def __init__(
+        self,
+        num_threads: int,
+        backend: str = "serial",
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
         if num_threads < 1:
             raise ValueError("num_threads must be >= 1")
         if backend not in EXEC_BACKENDS:
             raise ValueError(f"unknown backend {backend!r}")
         self.num_threads = num_threads
         self.backend = backend
+        #: Observability hook: when enabled, map()/run_tasks() record one
+        #: span per invocation plus a per-thread ``executor.task`` span
+        #: on each simulated thread's lane (all three backends).
+        self.tracer = tracer
 
     def map(self, fn: Callable[[int], T]) -> List[T]:
         """Invoke ``fn`` once per thread id, returning results in id order.
@@ -142,10 +168,32 @@ class SimulatedPool:
                 "bodies; dispatch a module-level task with run_tasks() "
                 "(see repro.core.proc_tasks)"
             )
-        if self.backend == "serial" or self.num_threads == 1:
-            return [fn(th) for th in range(self.num_threads)]
-        with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
-            return list(pool.map(fn, range(self.num_threads)))
+        tracer = self.tracer
+        if not tracer.enabled:
+            if self.backend == "serial" or self.num_threads == 1:
+                return [fn(th) for th in range(self.num_threads)]
+            with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
+                return list(pool.map(fn, range(self.num_threads)))
+
+        # Traced path: each body reports its own perf_counter pair (taken
+        # on the worker thread, so real concurrency shows as overlapping
+        # lanes), recorded inside the parent span so nesting is kept.
+        def timed(th: int) -> Tuple[float, float, T]:
+            t0 = time.perf_counter()
+            out = fn(th)
+            return t0, time.perf_counter(), out
+
+        with tracer.span(
+            "executor.map", backend=self.backend, threads=self.num_threads
+        ):
+            if self.backend == "serial" or self.num_threads == 1:
+                results = [timed(th) for th in range(self.num_threads)]
+            else:
+                with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
+                    results = list(pool.map(timed, range(self.num_threads)))
+            for th, (t0, t1, _) in enumerate(results):
+                tracer.record_span("executor.task", t0, t1, lane=th, thread=th)
+        return [res for _, _, res in results]
 
     def run_tasks(
         self, task: Callable[[Any], T], payloads: Sequence[Any]
@@ -159,14 +207,46 @@ class SimulatedPool:
         directly, so all three backends share one code path and stay
         bit-identical by construction.
         """
-        if self.backend == "processes" and self.num_threads > 1:
-            pool = _worker_pool(self.num_threads)
-            futures = [pool.submit(task, p) for p in payloads]
-            return [f.result() for f in futures]
-        if self.backend == "threads" and self.num_threads > 1:
-            with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
-                return list(pool.map(task, payloads))
-        return [task(p) for p in payloads]
+        tracer = self.tracer
+        if not tracer.enabled:
+            if self.backend == "processes" and self.num_threads > 1:
+                pool = _worker_pool(self.num_threads)
+                futures = [pool.submit(task, p) for p in payloads]
+                return [f.result() for f in futures]
+            if self.backend == "threads" and self.num_threads > 1:
+                with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
+                    return list(pool.map(task, payloads))
+            return [task(p) for p in payloads]
+        return self._run_tasks_traced(task, payloads, tracer)
+
+    def _run_tasks_traced(
+        self, task: Callable[[Any], T], payloads: Sequence[Any], tracer: Tracer
+    ) -> List[T]:
+        """Traced dispatch: tasks run through :func:`_timed_task`, which
+        measures inside the worker (thread **or** forked process — the
+        monotonic clock is system-wide, so worker timestamps share the
+        tracer's epoch) and ships the pair back on the result channel."""
+        wrapped: List[Tuple[Callable[[Any], T], Any]] = [
+            (task, p) for p in payloads
+        ]
+        with tracer.span(
+            "executor.run_tasks",
+            backend=self.backend,
+            threads=self.num_threads,
+            task=getattr(task, "__name__", str(task)),
+        ):
+            if self.backend == "processes" and self.num_threads > 1:
+                pool = _worker_pool(self.num_threads)
+                futures = [pool.submit(_timed_task, wp) for wp in wrapped]
+                timed = [f.result() for f in futures]
+            elif self.backend == "threads" and self.num_threads > 1:
+                with ThreadPoolExecutor(max_workers=self.num_threads) as tpool:
+                    timed = list(tpool.map(_timed_task, wrapped))
+            else:
+                timed = [_timed_task(wp) for wp in wrapped]
+            for th, (t0, t1, _) in enumerate(timed):
+                tracer.record_span("executor.task", t0, t1, lane=th, thread=th)
+        return [res for _, _, res in timed]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SimulatedPool(num_threads={self.num_threads}, backend={self.backend!r})"

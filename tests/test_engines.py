@@ -1,0 +1,191 @@
+"""Tests for the unified engine registry (:mod:`repro.engines`).
+
+Three contracts:
+
+* **registry round-trip** — ``create_engine(name, ...)`` is *the same
+  construction* as calling the class directly: bit-identical MTTKRP
+  outputs and identical configuration;
+* **context-manager lifecycle** — every engine is a context manager
+  whose ``__exit__`` releases resources even when the body raises
+  (``/dev/shm`` segments under the ``processes`` backend must not leak);
+* **protocol conformance** — every registered engine satisfies the
+  :class:`~repro.engines.MttkrpEngine` protocol, and ``register_engine``
+  rejects classes that don't.
+"""
+
+import glob
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.baselines import ALL_BACKENDS
+from repro.compat import canonicalize_kwargs
+from repro.engines import (
+    EngineBase,
+    MttkrpEngine,
+    create_engine,
+    engine_names,
+    register_engine,
+)
+from repro.tensor import random_tensor
+from tests.conftest import make_factors
+
+
+@pytest.fixture
+def tensor3():
+    return random_tensor((12, 9, 7), nnz=150, seed=7)
+
+
+@pytest.fixture
+def factors3(tensor3):
+    return make_factors(tensor3.shape, rank=4, seed=11)
+
+
+class TestRegistry:
+    def test_all_backends_registered(self):
+        assert set(engine_names()) == set(ALL_BACKENDS)
+
+    def test_unknown_name_lists_registered(self, tensor3):
+        with pytest.raises(ValueError, match="unknown engine"):
+            create_engine("no-such-engine", tensor3, 4)
+
+    @pytest.mark.parametrize("name", sorted(ALL_BACKENDS))
+    def test_round_trip_bit_identical(self, name, tensor3, factors3):
+        """Factory construction == direct class construction, exactly."""
+        with create_engine(name, tensor3, 4, num_threads=2) as via_factory:
+            with ALL_BACKENDS[name](tensor3, 4, num_threads=2) as direct:
+                a = via_factory.iteration_results(factors3)
+                b = direct.iteration_results(factors3)
+                assert len(a) == len(b) == tensor3.ndim
+                for (mode_a, res_a), (mode_b, res_b) in zip(a, b):
+                    assert mode_a == mode_b
+                    assert np.array_equal(res_a, res_b)
+
+    @pytest.mark.parametrize("name", sorted(ALL_BACKENDS))
+    def test_protocol_conformance(self, name, tensor3, factors3):
+        with create_engine(name, tensor3, 4, num_threads=2) as eng:
+            assert isinstance(eng, MttkrpEngine)
+            assert isinstance(eng, EngineBase)
+            assert isinstance(eng.mode_order, tuple)
+            assert eng.name == name
+            assert isinstance(eng.describe(), str)
+            eng.mttkrp_level(factors3, 0)
+            traffic = eng.per_thread_traffic()
+            assert isinstance(traffic, list)
+
+    def test_register_rejects_non_enginebase(self):
+        class Bare:
+            name = "bare"
+
+            def mttkrp_level(self, factors, level):
+                return None
+
+        with pytest.raises(TypeError, match="EngineBase"):
+            register_engine("bare", Bare)
+
+    def test_register_accepts_enginebase_subclass(self, tensor3):
+        class Custom(EngineBase):
+            name = "custom-test-engine"
+
+            def __init__(self, tensor, rank, **opts):
+                self.mode_order = tuple(range(tensor.ndim))
+
+            def mttkrp_level(self, factors, level):
+                return np.zeros((1, 1))
+
+        from repro.engines import ENGINES
+
+        try:
+            register_engine("custom-test-engine", Custom)
+            eng = create_engine("custom-test-engine", tensor3, 4)
+            assert isinstance(eng, Custom)
+        finally:
+            ENGINES.pop("custom-test-engine", None)
+
+
+class TestContextManager:
+    def test_enter_returns_engine(self, tensor3):
+        eng = create_engine("stef", tensor3, 4, num_threads=2)
+        with eng as entered:
+            assert entered is eng
+
+    def test_bare_close_still_works(self, tensor3):
+        eng = create_engine("stef", tensor3, 4, num_threads=2)
+        eng.close()
+        eng.close()  # idempotent
+
+    @pytest.mark.parametrize("name", ["stef", "stef2", "splatt-all", "alto", "taco"])
+    def test_shm_released_on_exception(self, name, tensor3, factors3):
+        """__exit__ must release /dev/shm segments when the body raises."""
+        before = set(glob.glob("/dev/shm/repro-*"))
+        with pytest.raises(RuntimeError, match="injected"):
+            with create_engine(
+                name, tensor3, 4, num_threads=2, exec_backend="processes"
+            ) as eng:
+                eng.mttkrp_level(factors3, 0)
+                raise RuntimeError("injected")
+        after = set(glob.glob("/dev/shm/repro-*"))
+        leaked = after - before
+        assert not leaked, f"{name} leaked shm segments: {sorted(leaked)}"
+
+    def test_stef_close_clears_process_context(self, tensor3, factors3):
+        with create_engine(
+            "stef", tensor3, 4, num_threads=2, exec_backend="processes"
+        ) as eng:
+            eng.mttkrp_level(factors3, 0)
+        assert eng.engine._proc is None
+
+
+class TestKwargNormalization:
+    def test_backend_alias_warns_and_works(self, tensor3, factors3):
+        from repro import compat
+
+        # Warn-once state may have been consumed by earlier tests.
+        compat._WARNED.discard(("Splatt1", "backend"))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with create_engine(
+                "splatt-1", tensor3, 4, num_threads=2, backend="serial"
+            ) as eng:
+                eng.mttkrp_level(factors3, 0)
+        assert any(
+            issubclass(w.category, DeprecationWarning)
+            and "exec_backend" in str(w.message)
+            for w in caught
+        )
+
+    def test_threads_alias_resolves(self, tensor3):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with create_engine("stef", tensor3, 4, threads=3) as eng:
+                assert eng.num_threads == 3
+
+    def test_both_spellings_rejected(self, tensor3):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(TypeError, match="both"):
+                create_engine(
+                    "stef", tensor3, 4,
+                    exec_backend="serial", backend="serial",
+                )
+
+    def test_unknown_kwarg_still_fails_loudly(self, tensor3):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            create_engine("stef", tensor3, 4, exec_backed="serial")
+
+    def test_warn_once_per_owner(self):
+        from repro import compat
+
+        compat._WARNED.discard(("WarnOnceProbe", "backend"))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            canonicalize_kwargs(
+                "WarnOnceProbe", {"backend": "serial"},
+                {"backend": "exec_backend"},
+            )
+            canonicalize_kwargs(
+                "WarnOnceProbe", {"backend": "serial"},
+                {"backend": "exec_backend"},
+            )
+        assert len(caught) == 1

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import profile_method
+from repro.engines import EngineBase
 from repro.parallel import INTEL_CLX_18
 from repro.tensor import TABLE1_SPECS, generate, random_tensor
 
@@ -104,12 +105,12 @@ class TestCounterCorruptionDetection:
     (it previously skipped negative per-category deltas, masking counter
     corruption such as lost concurrent updates or stray resets)."""
 
-    class _CorruptingBackend:
+    class _CorruptingBackend(EngineBase):
         name = "corrupt"
         levels_before_reset = 1
 
         def __init__(self, tensor, rank, *, machine=None, num_threads=None,
-                     counter=None, backend="serial"):
+                     counter=None, **opts):
             self.counter = counter
             self.mode_order = tuple(range(tensor.ndim))
 
@@ -127,11 +128,10 @@ class TestCounterCorruptionDetection:
             return 1.0
 
     def test_negative_category_delta_raises(self, nell2, monkeypatch):
-        import repro.analysis.profile as prof
+        from repro.engines import ENGINES, engine_names
 
-        monkeypatch.setitem(
-            prof.ALL_BACKENDS, "corrupt", self._CorruptingBackend
-        )
+        engine_names()  # force registry seeding before patching
+        monkeypatch.setitem(ENGINES, "corrupt", self._CorruptingBackend)
         with pytest.raises(RuntimeError, match="counter corruption"):
             profile_method("corrupt", nell2, 4, INTEL_CLX_18, num_threads=2)
 

@@ -1,0 +1,203 @@
+"""Tests for :mod:`repro.trace`.
+
+Pins the three properties the observability layer promises:
+
+* **traffic-delta tiling** — summing every kernel span's counter deltas
+  reproduces the :class:`TrafficCounter` totals *exactly*, on all three
+  execution backends (serial / threads / processes);
+* **export round-trip** — the JSONL run record parses back losslessly
+  and the Chrome trace-event file is structurally valid (one lane per
+  thread, microsecond complete events);
+* **NullTracer is free** — the traced-off path allocates nothing per
+  span and records nothing.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.cpd import cp_als
+from repro.engines import create_engine
+from repro.parallel import MACHINES, TrafficCounter
+from repro.tensor import random_tensor
+from repro.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    chrome_trace_events,
+    flat_metrics,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+BACKENDS = ("serial", "threads", "processes")
+MACHINE = MACHINES["intel-clx-18"]
+
+
+def traced_run(exec_backend, method="stef", iters=2, threads=2):
+    """One traced cp_als run; returns (tracer, counter)."""
+    tensor = random_tensor((10, 8, 6), nnz=120, seed=3)
+    tracer = Tracer(tensor="unit", method=method, exec_backend=exec_backend)
+    counter = TrafficCounter(cache_elements=MACHINE.cache_elements)
+    with create_engine(
+        method, tensor, 4, machine=MACHINE, num_threads=threads,
+        exec_backend=exec_backend, counter=counter, tracer=tracer,
+    ) as engine:
+        cp_als(
+            tensor, 4, engine=engine, max_iters=iters,
+            compute_fit=False, seed=0, tracer=tracer,
+        )
+    return tracer, counter
+
+
+class TestTrafficDeltaTiling:
+    @pytest.mark.parametrize("exec_backend", BACKENDS)
+    def test_span_deltas_sum_to_counter_totals(self, exec_backend):
+        tracer, counter = traced_run(exec_backend)
+        totals = tracer.traffic_totals()
+        assert totals["reads"] == counter.reads
+        assert totals["writes"] == counter.writes
+        assert totals["flops"] == counter.flops
+        for category, value in counter.by_category.items():
+            assert totals.get(category, 0.0) == value, category
+
+    @pytest.mark.parametrize("exec_backend", BACKENDS)
+    def test_only_kernel_spans_carry_traffic(self, exec_backend):
+        tracer, _ = traced_run(exec_backend)
+        kernel_names = {r.name for r in tracer.kernel_spans()}
+        assert kernel_names <= {"mttkrp.mode0", "mttkrp.mode_level"}
+        for rec in tracer.spans():
+            if rec.name in ("als.iteration", "executor.task"):
+                assert rec.traffic is None, rec.name
+
+    def test_backends_agree_on_counted_work(self):
+        """Traffic is counted, not measured: identical across backends."""
+        totals = {}
+        for exec_backend in BACKENDS:
+            tracer, _ = traced_run(exec_backend)
+            totals[exec_backend] = tracer.traffic_totals()
+        assert totals["serial"] == totals["threads"] == totals["processes"]
+
+    def test_iteration_spans_parent_kernels(self):
+        tracer, _ = traced_run("serial")
+        iters = tracer.spans("als.iteration")
+        assert len(iters) == 2
+        iter_ids = {r.span_id for r in iters}
+        for rec in tracer.kernel_spans():
+            assert rec.parent_id in iter_ids
+
+
+class TestExports:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer, _ = traced_run("threads")
+        path = str(tmp_path / "run.jsonl")
+        write_jsonl(tracer, path, host="unit-test")
+        doc = read_jsonl(path)
+        assert doc["meta"]["method"] == "stef"
+        assert doc["meta"]["host"] == "unit-test"
+        assert len(doc["spans"]) == len(tracer.records)
+        assert doc["metrics"] == pytest.approx(tracer.metrics())
+        # every line is standalone JSON (append-friendly record)
+        with open(path) as fh:
+            kinds = [json.loads(line)["type"] for line in fh]
+        assert kinds[0] == "meta" and kinds[-1] == "metrics"
+        assert kinds.count("span") == len(tracer.records)
+
+    def test_chrome_trace_structure(self, tmp_path):
+        tracer, _ = traced_run("threads", threads=2)
+        path = str(tmp_path / "run.chrome.json")
+        write_chrome_trace(tracer, path)
+        with open(path) as fh:
+            doc = json.load(fh)
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == len(tracer.records)
+        # coordinator row + one row per simulated thread, all labeled
+        tids = {e["tid"] for e in complete}
+        assert 0 in tids and len(tids) >= 3
+        assert {e["args"]["name"] for e in meta} >= {
+            "coordinator", "thread 0", "thread 1",
+        }
+        for event in complete:
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+
+    def test_chrome_kernel_events_embed_traffic(self):
+        tracer, _ = traced_run("serial")
+        events = chrome_trace_events(tracer)
+        kernels = [e for e in events
+                   if e.get("name", "").startswith("mttkrp.")]
+        assert kernels
+        for event in kernels:
+            assert "traffic" in event["args"]
+            assert event["args"]["traffic"].get("reads", 0) > 0
+
+    def test_flat_metrics_merges_meta(self):
+        tracer, _ = traced_run("serial")
+        metrics = flat_metrics(tracer, run_id=7)
+        assert metrics["method"] == "stef"
+        assert metrics["run_id"] == 7
+        assert metrics["als.iteration.count"] == 2.0
+        assert metrics["traffic.reads"] > 0
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tracer, _ = traced_run("serial")
+        assert tracer.records  # a real tracer does record...
+        null = NullTracer()
+        with null.span("als.iteration", iteration=0):
+            null.record_span("executor.task", 0.0, 1.0, lane=0)
+        assert null.records == []
+        assert null.metrics() == {}
+
+    def test_span_returns_shared_singleton(self):
+        """The traced-off path must not allocate per span."""
+        a = NULL_TRACER.span("mttkrp.mode0", level=0, nnz=10)
+        b = NULL_TRACER.span("als.iteration")
+        assert a is b
+        with a as entered:
+            entered.annotate(source="memo")  # no-op, no error
+        assert not NULL_TRACER.enabled
+
+    def test_overhead_within_noise(self):
+        """Guard against a NULL_TRACER span path that does real work.
+
+        Compares min-of-N timings of a bare loop against one that opens
+        a NULL_TRACER span per step; the bound is generous (3x) because
+        the point is catching accidental recording/allocation on the
+        traced-off path, not micro-benchmarking the CI machine.
+        """
+        steps = 20_000
+
+        def bare():
+            acc = 0
+            for i in range(steps):
+                acc += i
+            return acc
+
+        def traced():
+            acc = 0
+            span = NULL_TRACER.span
+            for i in range(steps):
+                with span("mttkrp.mode0"):
+                    acc += i
+            return acc
+
+        def best_of(fn, n=5):
+            best = float("inf")
+            for _ in range(n):
+                t0 = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        bare_s = best_of(bare)
+        traced_s = best_of(traced)
+        assert traced_s < bare_s * 3 + 5e-3, (
+            f"NULL_TRACER span overhead too high: "
+            f"{traced_s:.6f}s vs bare {bare_s:.6f}s"
+        )
