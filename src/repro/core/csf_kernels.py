@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..parallel.counters import NULL_COUNTER, TrafficCounter
 from ..tensor.csf import CsfTensor
 
 __all__ = [
@@ -93,11 +94,14 @@ def ancestor_windows(
     out: List[LevelSlice] = [LevelSlice(0, 0)] * (level + 1)
     if hi <= lo:
         return [LevelSlice(lo, lo)] * (level + 1)
+    # O(d) window bookkeeping on a Python list, not element traffic.
+    # lint: disable-next-line=flow.traffic-conformance
     out[level] = LevelSlice(lo, hi)
     a, b = lo, hi - 1
     for i in range(level - 1, -1, -1):
         a = int(csf.find_parent(i, np.array([a]))[0])
         b = int(csf.find_parent(i, np.array([b]))[0])
+        # lint: disable-next-line=flow.traffic-conformance
         out[i] = LevelSlice(a, b + 1)
     return out
 
@@ -279,15 +283,25 @@ def serial_upward_sweep(
     stop_level: int = 0,
     start_level: Optional[int] = None,
     init: Optional[np.ndarray] = None,
+    counter: TrafficCounter = NULL_COUNTER,
 ) -> Dict[int, np.ndarray]:
     """Single-threaded full sweep: complete ``t`` arrays per level.
 
     A thin wrapper over :func:`thread_upward_sweep` with one thread owning
-    everything — used by tests and by the serial reference path.
+    everything — used by tests and by the serial reference path.  Pass a
+    ``counter`` to charge the same structure/sweep legs the threaded path
+    charges (:func:`repro.core.proc_tasks.charge_sweep` with one thread
+    owning every node); the default ``NULL_COUNTER`` discards them.
     """
     d = csf.ndim
     if start_level is None:
         start_level = d - 1
+    rank = int(np.asarray(level_factors[0]).shape[1])
+    owned = np.zeros(d, dtype=np.int64)
+    for level in range(stop_level, start_level + 1):
+        owned[level] = csf.nnz if level == d - 1 else csf.fiber_counts[level]
+    counter.read(2.0 * int(owned.sum()), "structure")
+    counter.flop(2.0 * rank * int(owned[1:].sum()), "sweep")
     n_children = csf.nnz if start_level == d - 1 else csf.fiber_counts[start_level]
     parts = thread_upward_sweep(
         csf,

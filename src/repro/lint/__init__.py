@@ -11,6 +11,12 @@ silently as the codebase grows.  This package checks them mechanically:
 * :mod:`repro.lint.rules` — the project-specific rule suite
   (``thread-body-safety``, ``counter-category``, ``hot-path``,
   ``dtype-discipline``);
+* :mod:`repro.lint.flow` — interprocedural dataflow analyses over the
+  project call graph (``flow.traffic-conformance``,
+  ``flow.buffer-typestate``, ``flow.arena-typestate``,
+  ``flow.jit-readiness``), run under ``repro lint --flow``;
+* :mod:`repro.lint.sarif` / :mod:`repro.lint.baseline` — SARIF 2.1.0
+  output and the known-debt baseline workflow;
 * :mod:`repro.lint.cli` — ``python -m repro.lint`` / ``repro lint``.
 
 See DESIGN.md §9 for the invariant ↔ paper-section mapping and
@@ -25,6 +31,7 @@ from .framework import (
     Finding,
     LintError,
     LintReport,
+    ProjectContext,
     Rule,
     all_rules,
     format_json,
@@ -33,6 +40,8 @@ from .framework import (
     register,
     run_lint,
 )
+from .baseline import apply_baseline, baseline_key, load_baseline, write_baseline
+from .sarif import format_sarif
 from .cli import main
 
 __all__ = [
@@ -43,12 +52,18 @@ __all__ = [
     "Finding",
     "LintError",
     "LintReport",
+    "ProjectContext",
     "Rule",
     "all_rules",
+    "apply_baseline",
+    "baseline_key",
     "format_json",
+    "format_sarif",
     "format_text",
     "get_rule",
+    "load_baseline",
     "main",
     "register",
     "run_lint",
+    "write_baseline",
 ]

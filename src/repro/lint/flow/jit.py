@@ -1,0 +1,163 @@
+"""``flow.jit-readiness`` — which kernel loops can compile nopython.
+
+ROADMAP's top open item is a compiled-kernel tier (ALTO-style adaptive
+vectorized kernels, arXiv 2403.06348).  Numba's nopython mode rejects a
+well-known set of Python/NumPy constructs; finding them *after* wiring a
+``@njit`` decorator means debugging typed-compilation errors one kernel
+at a time.  This rule classifies every module-level function in the
+kernel modules that carries loops or array accesses — the compilation
+candidates — and emits **one finding per blocker site**, so the baseline
+file doubles as the compiled-kernel PR's exact worklist: a function with
+zero findings is nopython-ready as it stands.
+
+Blockers flagged (each message names the construct and the nopython
+limitation): ``try``/``except``, ``with``, generators, nested
+functions/lambdas (closures), dict/set literals and comprehensions,
+f-strings, reflection builtins (``isinstance``/``getattr``/``hasattr``),
+string-keyed subscripts (dict access in disguise), calls on non-array
+Python objects, and the unsupported NumPy surface (``np.add.at``,
+``ufunc.reduceat``, ``einsum``, ``lexsort``, ``apply_along_axis``,
+``vectorize``, ``frompyfunc``, ...).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from ..astutils import dotted_name
+from ..framework import Finding, ProjectContext, Rule, register
+
+__all__ = ["JitReadinessRule"]
+
+_NUMPY_NAMES = frozenset({"np", "numpy"})
+#: ``np.<chain>`` calls nopython mode rejects (or lowers to object mode).
+_UNSUPPORTED_NP = frozenset(
+    {
+        "add.at",
+        "add.reduceat",
+        "maximum.reduceat",
+        "minimum.reduceat",
+        "einsum",
+        "lexsort",
+        "ravel_multi_index",
+        "apply_along_axis",
+        "vectorize",
+        "frompyfunc",
+        "piecewise",
+        "block",
+    }
+)
+_REFLECTION = frozenset({"isinstance", "getattr", "hasattr", "setattr", "vars", "type"})
+#: ndarray/scalar methods the typed lowering supports — attribute calls on
+#: plain locals outside this set are Python-object dispatch.
+_ARRAY_METHODS = frozenset(
+    {
+        "all", "any", "argmax", "argmin", "argsort", "astype", "copy",
+        "cumsum", "cumprod", "dot", "fill", "item", "max", "mean", "min",
+        "nonzero", "prod", "ravel", "repeat", "reshape", "searchsorted",
+        "sort", "std", "sum", "take", "transpose", "var", "view",
+    }
+)
+
+
+def _np_chain(func: ast.AST) -> Optional[str]:
+    name = dotted_name(func)
+    if name is None:
+        return None
+    parts = name.split(".", 1)
+    if len(parts) == 2 and parts[0] in _NUMPY_NAMES:
+        return parts[1]
+    return None
+
+
+def _blockers(fn: ast.AST) -> List[Tuple[ast.AST, str]]:
+    out: List[Tuple[ast.AST, str]] = []
+    body = fn.body if isinstance(fn.body, list) else []
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            out.append((node, "nested function/lambda: closures are not "
+                              "nopython-compilable"))
+            continue  # the closure body is the closure's problem
+        if isinstance(node, ast.Try):
+            out.append((node, "try/except forces object mode"))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            out.append((node, "context managers are unsupported in "
+                              "nopython mode"))
+        elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+            out.append((node, "generators cannot be nopython-compiled"))
+        elif isinstance(node, (ast.Dict, ast.DictComp, ast.Set, ast.SetComp)):
+            out.append((node, "dict/set objects force object mode; use "
+                              "typed arrays or scalar locals"))
+        elif isinstance(node, ast.JoinedStr):
+            out.append((node, "f-string formatting is unsupported in "
+                              "nopython mode"))
+        elif isinstance(node, ast.Subscript) and (
+            isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            out.append((node, "string-keyed subscript is dict access; "
+                              "nopython kernels take typed arguments"))
+        elif isinstance(node, ast.Call):
+            blocker = _call_blocker(node)
+            if blocker is not None:
+                out.append((node, blocker))
+        for child in ast.iter_child_nodes(node):
+            stack.append(child)
+    return out
+
+
+def _call_blocker(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in _REFLECTION:
+        return f"`{func.id}()` reflection is unsupported in nopython mode"
+    chain = _np_chain(func)
+    if chain is not None:
+        if chain in _UNSUPPORTED_NP:
+            return (
+                f"`np.{chain}` has no nopython lowering; rewrite as an "
+                "explicit loop (cheap once compiled) or keep this kernel "
+                "interpreted"
+            )
+        return None
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if func.attr not in _ARRAY_METHODS and func.value.id not in _NUMPY_NAMES:
+            return (
+                f"`{func.value.id}.{func.attr}(...)` dispatches on a Python "
+                "object; nopython kernels must take flat arrays, not "
+                "objects with methods"
+            )
+    return None
+
+
+@register
+class JitReadinessRule(Rule):
+    id = "flow.jit-readiness"
+    description = (
+        "classify kernel inner loops as nopython-compilable; one finding "
+        "per object-mode blocker (the compiled-kernel worklist)"
+    )
+    paper_ref = "ROADMAP (compiled-kernel tier; arXiv 2403.06348)"
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        analysis = project.analysis
+        for info in analysis.jit_candidates():
+            # One finding per *distinct* blocker, anchored at its first
+            # site: fifteen string-keyed subscripts in one task unpacker
+            # are one work item, not fifteen.
+            seen: set = set()
+            for node, reason in sorted(
+                _blockers(info.node),
+                key=lambda pair: (pair[0].lineno, pair[0].col_offset),
+            ):
+                if reason in seen:
+                    continue
+                seen.add(reason)
+                yield info.ctx.finding(
+                    self.id,
+                    node,
+                    f"kernel `{info.name}` is not nopython-ready: {reason}",
+                )

@@ -1,0 +1,220 @@
+"""``flow.buffer-typestate`` / ``flow.arena-typestate`` — lifecycle machines.
+
+The static complement of the ``REPRO_SANITIZE=1`` runtime sanitizer
+(DESIGN.md §8): two per-object state machines, run as a forward dataflow
+over each function's CFG so out-of-order transitions are caught on *any*
+path, not just the straight-line one.
+
+**ReplicatedArray** (``flow.buffer-typestate``)::
+
+    unknown ──view──▶ viewed ──merge/merge_into──▶ merged
+       ▲                                             │
+       └──────────────── reset ◀─────────────────────┘
+
+* ``view()`` while possibly ``merged`` — stale thread stripes: the merge
+  already folded the replicas, so new views alias dirty data until
+  ``reset()`` (the double-merge bug the runtime sanitizer traps);
+* ``merge()`` while possibly ``merged`` — double merge without reset;
+* a coordinator-held ``.view(...)`` binding referenced inside a
+  ``pool.map``/``run_partitioned`` task closure — a thread-private window
+  escaping to other threads.
+
+**SharedArena** (``flow.arena-typestate``)::
+
+    unknown/open ──close──▶ closed  (share/zeros/array/attach keep "open")
+
+* ``share``/``zeros``/``array``/``attach`` while possibly ``closed`` —
+  use-after-close unmaps segments under concurrent readers;
+* ``close()`` on an arena *constructed in the same function* outside any
+  ``with``/``finally`` — an exception between construct and close leaks
+  the segments until the GC finalizer backstop fires (engine ``close()``
+  methods releasing long-lived ``self`` arenas are exempt: their
+  lifetime is the engine's, not a lexical region's).
+
+Both machines start at ``unknown`` (methods may receive objects mid-life
+from ``__init__``), so only *provably* out-of-order sequences fire.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from ..astutils import find_thread_bodies, local_names
+from ..framework import Finding, ProjectContext, Rule, register
+from .cfg import ENTRY
+from .facts import FunctionFacts, LifecycleEvent
+
+__all__ = ["BufferTypestateRule", "ArenaTypestateRule"]
+
+_ARENA_USE = frozenset({"share", "zeros", "array", "attach"})
+
+
+def _run_machine(
+    facts: FunctionFacts, kind: str
+) -> List[Tuple[LifecycleEvent, str]]:
+    """Forward may-analysis of one machine over the CFG.
+
+    Returns ``(event, error)`` pairs; ``error`` names the bad transition
+    observed on at least one path reaching the event.
+    """
+    events = [e for e in facts.lifecycle if e.kind == kind]
+    if not events:
+        return []
+    by_node: Dict[int, List[LifecycleEvent]] = {}
+    for ev in events:
+        nid = facts.cfg.node_of(ev.stmt)
+        if nid is not None:
+            by_node.setdefault(nid, []).append(ev)
+    for evs in by_node.values():
+        evs.sort(key=lambda e: (e.node.lineno, e.node.col_offset))
+
+    variables = sorted({e.obj for e in events})
+    initial: Dict[str, FrozenSet[str]] = {v: frozenset({"unknown"}) for v in variables}
+    errors: Dict[Tuple[str, int], Tuple[LifecycleEvent, str]] = {}
+
+    def apply(
+        state: Dict[str, FrozenSet[str]], nid: int
+    ) -> Dict[str, FrozenSet[str]]:
+        out = dict(state)
+        for ev in by_node.get(nid, ()):  # in source order within the stmt
+            current = out.get(ev.obj, frozenset({"unknown"}))
+            error = _bad_transition(kind, ev.event, current)
+            if error is not None:
+                errors.setdefault((ev.obj, id(ev.node)), (ev, error))
+            out[ev.obj] = frozenset({_next_state(kind, ev.event)})
+        return out
+
+    # Worklist fixpoint: entry states per node, join = per-variable union.
+    in_states: Dict[int, Dict[str, FrozenSet[str]]] = {ENTRY: initial}
+    work = [ENTRY]
+    while work:
+        nid = work.pop()
+        out = apply(in_states.get(nid, initial), nid)
+        for succ in facts.cfg.succ.get(nid, ()):  # noqa: B007
+            prev = in_states.get(succ)
+            if prev is None:
+                merged = dict(out)
+            else:
+                merged = {
+                    v: prev.get(v, frozenset()) | out.get(v, frozenset())
+                    for v in variables
+                }
+            if merged != prev:
+                in_states[succ] = merged
+                work.append(succ)
+    return list(errors.values())
+
+
+def _bad_transition(kind: str, event: str, states: FrozenSet[str]) -> Optional[str]:
+    if kind == "replicated":
+        if event == "view" and "merged" in states:
+            return (
+                "view() after merge() without an intervening reset(): the "
+                "replicas were already folded, so this view aliases stale "
+                "stripes (double-merge corruption)"
+            )
+        if event in ("merge", "merge_into") and "merged" in states:
+            return (
+                "second merge without reset(): replica stripes are folded "
+                "twice into the base array"
+            )
+    elif kind == "arena":
+        if event in _ARENA_USE and "closed" in states:
+            return (
+                "arena used after close(): the shared segments are already "
+                "unlinked on this path"
+            )
+    return None
+
+
+def _next_state(kind: str, event: str) -> str:
+    if kind == "replicated":
+        return {"view": "viewed", "merge": "merged",
+                "merge_into": "merged", "reset": "fresh"}[event]
+    return "closed" if event == "close" else "open"
+
+
+@register
+class BufferTypestateRule(Rule):
+    id = "flow.buffer-typestate"
+    description = (
+        "ReplicatedArray lifecycle: reset → view → merge in order, and "
+        "views must not escape into task closures"
+    )
+    paper_ref = "DESIGN.md §8 (replicated-output merge discipline)"
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        analysis = project.analysis
+        seen_bodies: Set[int] = set()
+        for qname, info in analysis.graph.functions.items():
+            facts = analysis.facts(qname)
+            for ev, error in _run_machine(facts, "replicated"):
+                yield info.ctx.finding(
+                    self.id, ev.node, f"`{ev.obj}.{ev.event}()`: {error}"
+                )
+            yield from self._check_escapes(info, facts, seen_bodies)
+
+    def _check_escapes(
+        self, info, facts: FunctionFacts, seen: Set[int]
+    ) -> Iterator[Finding]:
+        if not facts.view_bindings:
+            return
+        for body_fn in find_thread_bodies(info.node):
+            if id(body_fn) in seen:
+                continue
+            seen.add(id(body_fn))
+            body_locals = local_names(body_fn)
+            body = body_fn.body if isinstance(body_fn.body, list) else [body_fn.body]
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    if (
+                        isinstance(node, ast.Name)
+                        and isinstance(node.ctx, ast.Load)
+                        and node.id in facts.view_bindings
+                        and node.id not in body_locals
+                    ):
+                        yield info.ctx.finding(
+                            self.id,
+                            node,
+                            f"coordinator-held view `{node.id}` escapes into a "
+                            "task closure: thread-private windows must be "
+                            "taken inside the body via `.view(th, ...)`, "
+                            "never captured from the dispatching scope",
+                        )
+
+
+@register
+class ArenaTypestateRule(Rule):
+    id = "flow.arena-typestate"
+    description = (
+        "SharedArena lifecycle: no use after close(), and same-function "
+        "arenas release under with/finally"
+    )
+    paper_ref = "DESIGN.md §10 (shared-memory processes backend)"
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        analysis = project.analysis
+        for qname, info in analysis.graph.functions.items():
+            facts = analysis.facts(qname)
+            for ev, error in _run_machine(facts, "arena"):
+                yield info.ctx.finding(
+                    self.id, ev.node, f"`{ev.obj}.{ev.event}()`: {error}"
+                )
+            for ev in facts.lifecycle:
+                if (
+                    ev.kind == "arena"
+                    and ev.event == "close"
+                    and facts.constructed.get(ev.obj) == "arena"
+                    and not (ev.in_with or ev.in_finally)
+                ):
+                    yield info.ctx.finding(
+                        self.id,
+                        ev.node,
+                        f"`{ev.obj}.close()` is not protected by a context "
+                        "manager: an exception between the arena's "
+                        "construction and this call leaks its shared "
+                        "segments; use `try/finally` or contextlib.closing",
+                    )

@@ -11,20 +11,29 @@ repository's own source as ASTs and checks those invariants mechanically:
 * a **per-file context** (:class:`FileContext`) — parsed tree, source
   lines, and the suppression table;
 * **suppressions** — append ``# lint: disable=<rule>[,<rule>...]`` to a
-  line to silence specific rules there, or put
-  ``# lint: disable-file=<rule>`` anywhere in a file to allowlist the
-  whole file (``all`` is accepted in both forms);
-* **reporters** — stable text (``path:line:col: [rule] message``) and JSON;
+  line to silence specific rules there, put
+  ``# lint: disable-next-line=<rule>`` on the line *above* the finding,
+  or put ``# lint: disable-file=<rule>`` anywhere in a file to allowlist
+  the whole file (``all`` is accepted in every form; dotted rule ids like
+  ``flow.traffic-conformance`` are accepted too).  Pragmas are resolved
+  from real comment tokens, so a pragma-shaped substring inside a string
+  literal never suppresses anything;
+* **reporters** — stable text (``path:line:col: [rule] message``), JSON,
+  and SARIF 2.1.0 (:mod:`repro.lint.sarif`);
 * **exit codes** — 0 clean, 1 findings, 2 unparseable input or usage error.
 
-Rules live in :mod:`repro.lint.rules`; the CLI in :mod:`repro.lint.cli`.
+Per-file rules live in :mod:`repro.lint.rules`; the interprocedural
+(project-scope) analyses in :mod:`repro.lint.flow`; the CLI in
+:mod:`repro.lint.cli`.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import json
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Type
@@ -37,6 +46,7 @@ __all__ = [
     "LintError",
     "FileContext",
     "Rule",
+    "ProjectContext",
     "register",
     "all_rules",
     "get_rule",
@@ -50,8 +60,13 @@ EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
 EXIT_ERROR = 2
 
-#: ``# lint: disable=a,b`` (same line) / ``# lint: disable-file=a`` (whole file)
-_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable(?P<scope>-file)?=(?P<rules>[A-Za-z0-9_,\- ]+)")
+#: ``# lint: disable=a,b`` (same line) / ``# lint: disable-next-line=a``
+#: (the following line) / ``# lint: disable-file=a`` (whole file).  Rule
+#: ids may be dotted (``flow.buffer-typestate``); several pragmas may
+#: share one comment.
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*disable(?P<scope>-file|-next-line)?=(?P<rules>[A-Za-z0-9_.,\- ]+)"
+)
 
 
 @dataclass(frozen=True)
@@ -108,20 +123,40 @@ class FileContext:
         """Resolved path with ``/`` separators — what scoped rules match."""
         return self.path.resolve().as_posix()
 
+    def _comment_tokens(self) -> List[tokenize.TokenInfo]:
+        """The file's COMMENT tokens (pragmas in string literals are not
+        comments and must not suppress anything)."""
+        try:
+            return [
+                tok
+                for tok in tokenize.generate_tokens(io.StringIO(self.source).readline)
+                if tok.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            # ast.parse accepted the file, so tokenize failures are exotic;
+            # fall back to treating every line as a potential comment.
+            return [
+                tokenize.TokenInfo(tokenize.COMMENT, text, (i, 0), (i, len(text)), text)
+                for i, text in enumerate(self.lines, start=1)
+            ]
+
     def _scan_suppressions(self) -> None:
         file_wide: set = set()
-        for lineno, text in enumerate(self.lines, start=1):
-            m = _SUPPRESS_RE.search(text)
-            if not m:
-                continue
-            rules = frozenset(
-                r.strip() for r in m.group("rules").split(",") if r.strip()
-            )
-            if m.group("scope"):
-                file_wide |= rules
-            else:
-                self.line_suppressions[lineno] = (
-                    self.line_suppressions.get(lineno, frozenset()) | rules
+        for tok in self._comment_tokens():
+            lineno = tok.start[0]
+            for m in _SUPPRESS_RE.finditer(tok.string):
+                rules = frozenset(
+                    r.strip() for r in m.group("rules").split(",") if r.strip()
+                )
+                scope = m.group("scope")
+                if scope == "-file":
+                    file_wide |= rules
+                    continue
+                # ``disable`` silences the pragma's own line;
+                # ``disable-next-line`` the one after it.
+                target = lineno + 1 if scope == "-next-line" else lineno
+                self.line_suppressions[target] = (
+                    self.line_suppressions.get(target, frozenset()) | rules
                 )
         self.file_suppressions = frozenset(file_wide)
 
@@ -149,18 +184,64 @@ class Rule:
     Subclasses set ``id`` / ``description`` / ``paper_ref`` and implement
     :meth:`check`; :meth:`applies_to` scopes path-restricted rules (the
     hot-path and dtype rules only police kernel modules).
+
+    ``scope`` selects the analysis granularity: ``"file"`` rules see one
+    :class:`FileContext` at a time through :meth:`check`; ``"project"``
+    rules (the :mod:`repro.lint.flow` analyses) see every parsed file at
+    once through :meth:`check_project` — they need the call graph, so a
+    single file is never enough.  Project rules only run under
+    ``repro lint --flow`` (or when selected explicitly with a flow run).
     """
 
     id: str = ""
     description: str = ""
     #: The paper section the enforced invariant derives from.
     paper_ref: str = ""
+    #: ``"file"`` (per-file AST rule) or ``"project"`` (interprocedural).
+    scope: str = "file"
 
     def applies_to(self, ctx: FileContext) -> bool:
         return True
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         raise NotImplementedError
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        """Project-scope entry point (``scope == "project"`` rules)."""
+        raise NotImplementedError
+
+
+class ProjectContext:
+    """Every parsed file of one lint run, plus lazily built flow state.
+
+    The interprocedural analyses all need the same two artifacts — the
+    project-wide call graph and per-function summaries — so the context
+    builds them once and every project rule shares them (see
+    :mod:`repro.lint.flow.analysis`).
+    """
+
+    def __init__(self, files: Sequence[FileContext]) -> None:
+        self.files: List[FileContext] = list(files)
+        self.by_path: Dict[str, FileContext] = {
+            ctx.posix_path: ctx for ctx in self.files
+        }
+        self._analysis = None
+
+    @property
+    def analysis(self):
+        """The shared :class:`repro.lint.flow.analysis.FlowAnalysis`."""
+        if self._analysis is None:
+            from .flow.analysis import FlowAnalysis
+
+            self._analysis = FlowAnalysis(self)
+        return self._analysis
+
+    def context_for(self, display_path: str) -> Optional[FileContext]:
+        """The FileContext whose display path matches ``display_path``."""
+        for ctx in self.files:
+            if ctx.display_path == display_path:
+                return ctx
+        return None
 
 
 _REGISTRY: Dict[str, Type[Rule]] = {}
@@ -195,6 +276,7 @@ def get_rule(rule_id: str) -> Rule:
 def _load_builtin_rules() -> None:
     """Import the built-in rule modules (they self-register on import)."""
     from . import rules as _rules  # noqa: F401
+    from . import flow as _flow  # noqa: F401
 
 
 # ----------------------------------------------------------------------
@@ -208,6 +290,8 @@ class LintReport:
     errors: List[LintError] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
+    #: Findings absorbed by a baseline file (tracked debt, not failures).
+    baselined: int = 0
 
     @property
     def exit_code(self) -> int:
@@ -243,14 +327,14 @@ def collect_files(paths: Sequence[str]) -> List[Path]:
 
 def lint_file(
     path: Path, rules: Sequence[Rule], report: LintReport
-) -> None:
-    """Lint one file into ``report``."""
+) -> Optional[FileContext]:
+    """Lint one file into ``report``; returns its context when parseable."""
     try:
         source = path.read_text(encoding="utf-8")
         ctx = FileContext(path, source, display_path=str(path))
     except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
         report.errors.append(LintError(path=str(path), message=str(exc)))
-        return
+        return None
     report.files_checked += 1
     for rule in rules:
         if not rule.applies_to(ctx):
@@ -260,24 +344,61 @@ def lint_file(
                 report.suppressed += 1
             else:
                 report.findings.append(finding)
+    return ctx
 
 
 def run_lint(
-    paths: Sequence[str], select: Optional[Iterable[str]] = None
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    *,
+    ignore: Optional[Iterable[str]] = None,
+    flow: bool = False,
 ) -> LintReport:
-    """Lint ``paths`` with every registered rule (or just ``select``)."""
+    """Lint ``paths`` with every registered rule (or just ``select``).
+
+    ``ignore`` drops rule ids from whatever ``select`` (or the full
+    registry) produced — CI uses the pair to run one rule family in
+    isolation without touching exit-code semantics.  ``flow=True``
+    additionally runs the project-scope interprocedural analyses
+    (:mod:`repro.lint.flow`); without it they are skipped even when the
+    registry knows them, because they need every file of the project in
+    one pass.  Selecting a project rule by id implies ``flow``.
+    """
     if select is None:
         rules: List[Rule] = all_rules()
     else:
         rules = [get_rule(rid) for rid in select]
+    if ignore is not None:
+        dropped = set(ignore)
+        # Validate the ignored ids so a typo fails loudly like --select.
+        for rid in dropped:
+            get_rule(rid)
+        rules = [r for r in rules if r.id not in dropped]
+    file_rules = [r for r in rules if r.scope == "file"]
+    project_rules = [r for r in rules if r.scope == "project"]
+    run_project = project_rules and (flow or select is not None)
+
     report = LintReport()
     try:
         files = collect_files(paths)
     except FileNotFoundError as exc:
         report.errors.append(LintError(path=str(paths), message=str(exc)))
         return report
+    contexts: List[FileContext] = []
     for f in files:
-        lint_file(f, rules, report)
+        ctx = lint_file(f, file_rules, report)
+        if ctx is not None:
+            contexts.append(ctx)
+    if run_project and contexts:
+        project = ProjectContext(contexts)
+        by_display = {ctx.display_path: ctx for ctx in contexts}
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                ctx = by_display.get(finding.path)
+                if ctx is not None and ctx.is_suppressed(finding.rule, finding.line):
+                    report.suppressed += 1
+                else:
+                    report.findings.append(finding)
     report.findings.sort(key=lambda fi: (fi.path, fi.line, fi.col, fi.rule))
     return report
 
@@ -294,6 +415,8 @@ def format_text(report: LintReport) -> str:
         f"checked {report.files_checked} {noun}: "
         f"{len(report.findings)} finding(s), {report.suppressed} suppressed"
     )
+    if report.baselined:
+        summary += f", {report.baselined} baselined"
     if report.errors:
         summary += f", {len(report.errors)} error(s)"
     lines.append(summary)
@@ -305,6 +428,7 @@ def format_json(report: LintReport) -> str:
     payload = {
         "files_checked": report.files_checked,
         "suppressed": report.suppressed,
+        "baselined": report.baselined,
         "exit_code": report.exit_code,
         "findings": [
             {

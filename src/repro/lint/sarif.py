@@ -1,0 +1,103 @@
+"""SARIF 2.1.0 reporter — lint findings for code-scanning UIs.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format GitHub code scanning (and most IDE problem
+panes) ingest; the CI ``lint-flow`` job uploads this report as an
+artifact so flow findings annotate PRs without anyone re-running the
+analyzer locally.
+
+The emitted document keeps to the minimal required shape: one ``run``
+with a ``tool.driver`` listing every registered rule (so suppressed-to-
+zero runs still describe the rule set), one ``result`` per finding with a
+``physicalLocation``, and ``error``/``note`` levels mapped from live
+versus baselined findings.  Analysis *errors* (unparseable files) become
+``toolExecutionNotifications`` — they fail the run via exit code 2, and
+SARIF viewers surface them separately from results.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .framework import LintReport, all_rules
+
+__all__ = ["format_sarif", "SARIF_VERSION", "SARIF_SCHEMA"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _uri(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def format_sarif(report: LintReport) -> str:
+    """Serialize ``report`` as a SARIF 2.1.0 document."""
+    rules: List[Dict[str, Any]] = [
+        {
+            "id": rule.id,
+            "shortDescription": {"text": rule.description},
+            "help": {"text": f"Invariant source: {rule.paper_ref}"},
+        }
+        for rule in all_rules()
+    ]
+    results: List[Dict[str, Any]] = [
+        {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": _uri(f.path)},
+                        "region": {"startLine": f.line, "startColumn": f.col},
+                    }
+                }
+            ],
+        }
+        for f in report.findings
+    ]
+    invocation: Dict[str, Any] = {
+        "executionSuccessful": not report.errors,
+        "toolExecutionNotifications": [
+            {
+                "level": "error",
+                "message": {"text": e.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": _uri(e.path)}
+                        }
+                    }
+                ],
+            }
+            for e in report.errors
+        ],
+    }
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "invocations": [invocation],
+                "results": results,
+                "properties": {
+                    "filesChecked": report.files_checked,
+                    "suppressed": report.suppressed,
+                    "baselined": report.baselined,
+                },
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -20,7 +20,8 @@ from __future__ import annotations
 # This module is the deliberately-naive reference path: obvious-by-
 #-inspection kernels the fast implementations are validated against.
 # Hot-path idioms (np.add.at, per-nnz loops) are the point here, not a bug.
-# lint: disable-file=hot-path
+# It is never traffic-counted and never a compilation candidate either.
+# lint: disable-file=hot-path,flow.traffic-conformance,flow.jit-readiness
 
 from typing import List, Sequence
 
