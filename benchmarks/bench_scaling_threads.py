@@ -73,7 +73,7 @@ def _time_exec_backend(csf, factors, rank, backend, reps=3):
     """Best-of-``reps`` wall-clock for one full MTTKRP iteration."""
     engine = MemoizedMttkrp(
         csf, rank, plan=MemoPlan((1,)), num_threads=EXEC_THREADS,
-        backend=backend,
+        exec_backend=backend,
     )
     try:
         list(engine.iteration_results(factors))  # warmup: pools, shm, memo

@@ -4,8 +4,8 @@ Each baseline satisfies the MTTKRP-backend protocol of
 :mod:`repro.cpd.als` (``mode_order`` + ``mttkrp_level``), so the one ALS
 driver and benchmark harness serve every method.  :data:`ALL_BACKENDS`
 maps harness names to constructors with the shared signature
-``(tensor, rank, *, machine=None, num_threads=None, backend="serial",
-counter=NULL_COUNTER)``.
+``(tensor, rank, *, machine=None, num_threads=None,
+exec_backend="serial", counter=NULL_COUNTER)``.
 """
 
 from ..core.stef import Stef
@@ -15,6 +15,9 @@ from .alto_mttkrp import AltoBackend
 from .dimtree import DimTreeBackend, build_mode_tree
 from .splatt import Splatt1, Splatt2, SplattAll
 from .taco import TacoBackend
+
+# Imported after the base engines above: the jit module subclasses them.
+from ..engines.jit import DimTreeJit, Stef2Jit, StefJit, TacoJit
 
 #: Every method of Figures 3-4, keyed by its harness/plot name.
 ALL_BACKENDS = {
@@ -29,9 +32,19 @@ ALL_BACKENDS = {
     # Extension: the dimension-tree (BDT/HyperTensor) policy the paper
     # could not compare against (closed source, Section V).
     "dimtree": DimTreeBackend,
+    # The compiled kernel tier (jit_default="auto"): same engines, same
+    # traffic, Numba-compiled inner loops when the [jit] extra is there.
+    "stef-jit": StefJit,
+    "stef2-jit": Stef2Jit,
+    "taco-jit": TacoJit,
+    "dimtree-jit": DimTreeJit,
 }
 
 __all__ = [
+    "StefJit",
+    "Stef2Jit",
+    "TacoJit",
+    "DimTreeJit",
     "AdaTm",
     "flop_count",
     "flop_minimal_plan",

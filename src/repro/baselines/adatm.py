@@ -36,6 +36,18 @@ from ..trace import NULL_TRACER, Tracer
 __all__ = ["flop_count", "flop_minimal_plan", "AdaTm"]
 
 
+def _plan_arrays(plan: MemoPlan, d: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten a :class:`MemoPlan` into typed arrays — the source level of
+    each update mode and a saved-level mask — so the counting loop below
+    takes only ndarrays and scalars (no object dispatch on the plan)."""
+    # Mode 0 is produced by the sweep, never sourced: slot 0 is a filler.
+    source = np.array(
+        [0] + [plan.source_level(u, d) for u in range(1, d)], dtype=np.int64
+    )
+    saved = np.array([plan.saves(k) for k in range(d)], dtype=np.bool_)
+    return source, saved
+
+
 def flop_count(fiber_counts: Sequence[int], rank: int, plan: MemoPlan) -> float:
     """Multiply-add count of one CPD iteration's MTTKRPs under ``plan``.
 
@@ -46,15 +58,16 @@ def flop_count(fiber_counts: Sequence[int], rank: int, plan: MemoPlan) -> float:
     Hadamard-scatter at ``u``.
     """
     d = len(fiber_counts)
-    m = fiber_counts
+    m = np.asarray(fiber_counts, dtype=np.float64)
+    source, saved = _plan_arrays(plan, d)
     # Mode 0: one full sweep (every level contributes m_j * R work).
-    total = float(sum(m[j] for j in range(d)) * rank)
+    total = float(m.sum() * rank)
     for u in range(1, d):
-        k = plan.source_level(u, d) if u < d - 1 else d - 1
-        if u < d - 1 and not plan.saves(k):
+        k = int(source[u]) if u < d - 1 else d - 1
+        if u < d - 1 and not saved[k]:
             k = d - 1
-        down = sum(m[j] for j in range(1, u + 1))  # k-vector expansions
-        up = sum(m[j] for j in range(u, k + 1)) if k > u else m[u]
+        down = m[1 : u + 1].sum()  # k-vector expansions
+        up = m[u : k + 1].sum() if k > u else m[u]
         total += float((down + up) * rank)
     return total
 
@@ -89,10 +102,10 @@ class AdaTm(EngineBase):
         exec_backend: Optional[str] = None,
         counter: TrafficCounter = NULL_COUNTER,
         tracer: Tracer = NULL_TRACER,
-        **deprecated,
+        **removed,
     ) -> None:
         num_threads, exec_backend = resolve_engine_aliases(
-            type(self).__name__, num_threads, exec_backend, deprecated
+            type(self).__name__, num_threads, exec_backend, removed
         )
         self.tensor = tensor
         self.rank = rank

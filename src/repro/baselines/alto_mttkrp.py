@@ -31,6 +31,7 @@ from ..compat import resolve_engine_aliases
 from ..core.csf_kernels import scatter_add_rows
 from ..core.proc_tasks import emit_contrib, merge_counter_state
 from ..engines.base import EngineBase, resolve_num_threads
+from ..kernels.dispatch import gather_multiply_rows, value_gather_rows
 from ..parallel.counters import NULL_COUNTER, ShardedTrafficCounter, TrafficCounter
 from ..parallel.executor import SimulatedPool
 from ..parallel.machine import MachineSpec
@@ -72,9 +73,9 @@ def _alto_mode_task(payload: Dict[str, Any]) -> Tuple[str, int, Any, tuple]:
         counter, hi - lo, d, ctx["rank"], ctx["index_words"], ctx["decode_bits"]
     )
     other = [m for m in range(d) if m != mode]
-    acc = vals[lo:hi, None] * factors[other[0]][coords[other[0]][lo:hi]]
+    acc = value_gather_rows(vals, factors[other[0]], coords[other[0]], lo, hi)
     for m in other[1:]:
-        acc = acc * factors[m][coords[m][lo:hi]]
+        acc = gather_multiply_rows(acc, factors[m], coords[m], lo, hi)
     return emit_contrib(ctx["scratch"][th], lo, acc, counter)
 
 
@@ -93,10 +94,10 @@ class AltoBackend(EngineBase):
         exec_backend: Optional[str] = None,
         counter: TrafficCounter = NULL_COUNTER,
         tracer: Tracer = NULL_TRACER,
-        **deprecated,
+        **removed,
     ) -> None:
         num_threads, exec_backend = resolve_engine_aliases(
-            type(self).__name__, num_threads, exec_backend, deprecated
+            type(self).__name__, num_threads, exec_backend, removed
         )
         self.tensor = tensor
         self.rank = rank
@@ -200,11 +201,14 @@ class AltoBackend(EngineBase):
                     self.alto.index_bits // 64,
                     self.alto.mask.total_bits,
                 )
-                acc = vals[lo:hi, None] * np.asarray(factors[other[0]])[
-                    self._coords[other[0]][lo:hi]
-                ]
+                acc = value_gather_rows(
+                    vals, np.asarray(factors[other[0]]),
+                    self._coords[other[0]], lo, hi,
+                )
                 for m in other[1:]:
-                    acc = acc * np.asarray(factors[m])[self._coords[m][lo:hi]]
+                    acc = gather_multiply_rows(
+                        acc, np.asarray(factors[m]), self._coords[m], lo, hi
+                    )
                 return lo, acc
 
             for lo, acc in self.pool.map(body):

@@ -53,10 +53,10 @@ class Splatt1(EngineBase):
         exec_backend: Optional[str] = None,
         counter: TrafficCounter = NULL_COUNTER,
         tracer: Tracer = NULL_TRACER,
-        **deprecated,
+        **removed,
     ) -> None:
         num_threads, exec_backend = resolve_engine_aliases(
-            type(self).__name__, num_threads, exec_backend, deprecated
+            type(self).__name__, num_threads, exec_backend, removed
         )
         self.tensor = tensor
         self.rank = rank
@@ -118,10 +118,10 @@ class SplattAll(EngineBase):
         exec_backend: Optional[str] = None,
         counter: TrafficCounter = NULL_COUNTER,
         tracer: Tracer = NULL_TRACER,
-        **deprecated,
+        **removed,
     ) -> None:
         num_threads, exec_backend = resolve_engine_aliases(
-            type(self).__name__, num_threads, exec_backend, deprecated
+            type(self).__name__, num_threads, exec_backend, removed
         )
         self.tensor = tensor
         self.rank = rank
@@ -204,10 +204,10 @@ class Splatt2(EngineBase):
         exec_backend: Optional[str] = None,
         counter: TrafficCounter = NULL_COUNTER,
         tracer: Tracer = NULL_TRACER,
-        **deprecated,
+        **removed,
     ) -> None:
         num_threads, exec_backend = resolve_engine_aliases(
-            type(self).__name__, num_threads, exec_backend, deprecated
+            type(self).__name__, num_threads, exec_backend, removed
         )
         self.tensor = tensor
         self.rank = rank

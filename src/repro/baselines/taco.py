@@ -30,6 +30,7 @@ from ..compat import resolve_engine_aliases
 from ..core.csf_kernels import scatter_add_rows, thread_upward_sweep
 from ..core.proc_tasks import counter_state, merge_counter_state
 from ..engines.base import EngineBase, resolve_num_threads
+from ..kernels.dispatch import TIER_NUMPY, resolve_tier
 from ..parallel.counters import NULL_COUNTER, ShardedTrafficCounter, TrafficCounter
 from ..parallel.executor import SimulatedPool
 from ..parallel.machine import MachineSpec
@@ -94,7 +95,10 @@ def _taco_sweep_task(
             leaf_hi = leaf_lo
         if ctx["charge"]:
             _charge_chunk(counter, csf, s_lo, s_hi, ctx["rank"])
-        res = thread_upward_sweep(csf, lf, leaf_lo, leaf_hi, stop_level=0)
+        res = thread_upward_sweep(
+            csf, lf, leaf_lo, leaf_hi, stop_level=0,
+            tier=ctx.get("tier", TIER_NUMPY),
+        )
         results.append(res[0])
     return results, counter_state(counter)
 
@@ -103,6 +107,7 @@ class TacoBackend(EngineBase):
     """Per-mode generated-kernel backend with chunk auto-tuning."""
 
     name = "taco"
+    jit_capable = True
 
     def __init__(
         self,
@@ -112,16 +117,21 @@ class TacoBackend(EngineBase):
         machine: Optional[MachineSpec] = None,
         num_threads: Optional[int] = None,
         exec_backend: Optional[str] = None,
+        jit: Optional[str] = None,
         counter: TrafficCounter = NULL_COUNTER,
         tracer: Tracer = NULL_TRACER,
         autotune: bool = True,
-        **deprecated,
+        **removed,
     ) -> None:
         num_threads, exec_backend = resolve_engine_aliases(
-            type(self).__name__, num_threads, exec_backend, deprecated
+            type(self).__name__, num_threads, exec_backend, removed
         )
         self.tensor = tensor
         self.rank = rank
+        #: Resolved kernel-ABI tier for every chunk sweep.
+        self.kernel_tier = resolve_tier(
+            jit if jit is not None else type(self).jit_default
+        )
         self.counter = counter
         self.tracer = tracer
         threads = resolve_num_threads(machine, num_threads)
@@ -225,7 +235,8 @@ class TacoBackend(EngineBase):
                     if charge:
                         _charge_chunk(shard, csf, s_lo, s_hi, rank)
                     res = thread_upward_sweep(
-                        csf, lf, leaf_lo, leaf_hi, stop_level=0
+                        csf, lf, leaf_lo, leaf_hi, stop_level=0,
+                        tier=self.kernel_tier,
                     )
                     results.append(res[0])
                 return results
@@ -289,6 +300,7 @@ class TacoBackend(EngineBase):
             "charge": charge,
             "cache_elements": self.counter.cache_elements,
             "enabled": self.counter.enabled,
+            "tier": self.kernel_tier,
         }
 
     def close(self) -> None:

@@ -16,7 +16,7 @@ Examples::
 
     python -m repro info uber --nnz 8000
     python -m repro plan data/enron.tns --rank 32
-    python -m repro decompose nell-2 --rank 16 --backend stef2 --iters 10
+    python -m repro decompose nell-2 --rank 16 --engine stef2 --iters 10
     python -m repro compare vast-2015-mc1-3d --machine amd-tr-64
     python -m repro lint src/ --format json
 """
@@ -87,9 +87,18 @@ def build_parser() -> argparse.ArgumentParser:
     def add_method_args(p: argparse.ArgumentParser) -> None:
         """The shared method/execution selectors (one definition — the
         ``decompose`` and ``profile`` copies previously drifted apart)."""
+        infos = engine_names(detail=True)
         p.add_argument(
-            "--backend", choices=engine_names(), default="stef",
-            help="MTTKRP method (default stef)",
+            "--engine", "--backend", choices=[i.name for i in infos],
+            default="stef", dest="engine",
+            help="MTTKRP engine (default stef). Capabilities: "
+            + "; ".join(i.summary() for i in infos),
+        )
+        p.add_argument(
+            "--jit", choices=["auto", "on", "off"], default=None,
+            help="kernel tier: 'on' requires Numba, 'off' forces the NumPy "
+            "reference tier, 'auto' compiles when available (jit-capable "
+            "engines only; the *-jit engine names default to auto)",
         )
         p.add_argument(
             "--exec-backend", choices=list(EXEC_BACKENDS), default="serial",
@@ -203,7 +212,7 @@ def _cmd_decompose(args, out) -> int:
             meta={
                 "command": "decompose",
                 "tensor": args.tensor,
-                "backend": args.backend,
+                "engine": args.engine,
                 "exec_backend": args.exec_backend,
                 "rank": args.rank,
                 "machine": args.machine,
@@ -211,9 +220,10 @@ def _cmd_decompose(args, out) -> int:
         )
         counter = TrafficCounter(cache_elements=machine.cache_elements)
     with create_engine(
-        args.backend, tensor, args.rank, machine=machine,
+        args.engine, tensor, args.rank, machine=machine,
         num_threads=args.threads, exec_backend=args.exec_backend,
-        tracer=tracer, **({"counter": counter} if counter is not None else {}),
+        jit=args.jit, tracer=tracer,
+        **({"counter": counter} if counter is not None else {}),
     ) as engine:
         print(engine.describe(), file=out)
         result = cp_als(
@@ -277,14 +287,14 @@ def _cmd_profile(args, out) -> int:
             meta={
                 "command": "profile",
                 "tensor": args.tensor,
-                "backend": args.backend,
+                "engine": args.engine,
                 "exec_backend": args.exec_backend,
                 "rank": args.rank,
                 "machine": args.machine,
             }
         )
     profile = profile_method(
-        args.backend, tensor, args.rank, machine,
+        args.engine, tensor, args.rank, machine,
         num_threads=args.threads, tensor_name=args.tensor,
         exec_backend=args.exec_backend, tracer=tracer,
     )

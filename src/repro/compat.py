@@ -1,76 +1,59 @@
-"""Deprecated-keyword compatibility shim.
+"""Retired-keyword guard rails.
 
 Three PRs of engines accreted three spellings for the same knobs:
 ``threads`` vs ``num_threads``, ``backend`` vs ``exec_backend`` (and, on
 :func:`~repro.cpd.als.cp_als`, ``backend=`` meaning the *engine object*).
-The canonical names are now
+The canonical names are
 
 * ``num_threads`` — simulated/real thread count,
 * ``exec_backend`` — ``"serial" | "threads" | "processes"`` pool mode,
 * ``engine`` — the MTTKRP engine object handed to ``cp_als``.
 
-Old spellings keep working through :func:`canonicalize_kwargs`, which
-warns **once per (owner, name)** with :class:`DeprecationWarning` and
-raises ``TypeError`` for genuinely unknown keywords — so typos still
-fail loudly instead of being swallowed by a ``**kwargs`` sink.
+The old spellings went through a deprecation cycle (accepted with a
+:class:`DeprecationWarning`) and are now **removed**:
+:func:`canonicalize_kwargs` raises ``TypeError`` for a retired spelling
+with a migration hint naming the canonical keyword, and raises the
+ordinary unknown-keyword ``TypeError`` for anything else — so typos
+still fail loudly instead of being swallowed by a ``**kwargs`` sink.
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import Any, Dict, Mapping, Set, Tuple
+from typing import Any, Dict, Mapping, Tuple
 
 __all__ = ["canonicalize_kwargs", "resolve_engine_aliases"]
-
-#: (owner, old-name) pairs already warned about this interpreter.
-_WARNED: Set[Tuple[str, str]] = set()
 
 
 def canonicalize_kwargs(
     owner: str,
     extra: Dict[str, Any],
     aliases: Mapping[str, str],
-) -> Dict[str, Any]:
-    """Translate deprecated keywords to canonical names.
+) -> None:
+    """Reject retired keyword spellings with a migration hint.
 
     Parameters
     ----------
     owner:
-        The accepting callable's name (warning text + warn-once key).
+        The accepting callable's name (used in the error text).
     extra:
         The ``**kwargs`` catch-all as received.
     aliases:
-        ``{old_name: canonical_name}``.
-
-    Returns
-    -------
-    ``{canonical_name: value}`` for every recognized deprecated keyword.
+        ``{retired_name: canonical_name}``.
 
     Raises
     ------
     TypeError
-        For keywords that are neither canonical nor a known alias, or
-        when the same canonical keyword arrives under two spellings.
+        For a retired spelling (with the canonical replacement named),
+        or for keywords that were never valid.
     """
-    out: Dict[str, Any] = {}
-    for key, value in extra.items():
+    for key in extra:
         new = aliases.get(key)
         if new is None:
             raise TypeError(f"{owner}() got an unexpected keyword argument {key!r}")
-        if new in out:
-            raise TypeError(
-                f"{owner}() got duplicate values for {new!r} "
-                f"(via deprecated alias {key!r})"
-            )
-        if (owner, key) not in _WARNED:
-            _WARNED.add((owner, key))
-            warnings.warn(
-                f"{owner}(..., {key}=) is deprecated; use {new}=",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-        out[new] = value
-    return out
+        raise TypeError(
+            f"{owner}() no longer accepts {key!r}; pass {new}= instead "
+            f"(the {key}= spelling was removed after its deprecation cycle)"
+        )
 
 
 def resolve_engine_aliases(
@@ -81,27 +64,11 @@ def resolve_engine_aliases(
 ) -> Tuple[Any, str]:
     """The engine-constructor flavor of :func:`canonicalize_kwargs`.
 
-    Folds the two deprecated engine spellings (``threads=`` →
-    ``num_threads=``, ``backend=`` → ``exec_backend=``) into the
-    canonical values, raising ``TypeError`` when a knob arrives under
-    both names, and normalizes a defaulted ``exec_backend`` to
-    ``"serial"``.
+    Rejects the two retired engine spellings (``threads=`` and
+    ``backend=``) with migration hints, and normalizes a defaulted
+    ``exec_backend`` to ``"serial"``.
     """
-    legacy = canonicalize_kwargs(
+    canonicalize_kwargs(
         owner, extra, {"backend": "exec_backend", "threads": "num_threads"}
     )
-    if "exec_backend" in legacy:
-        if exec_backend is not None:
-            raise TypeError(
-                f"{owner}() got both exec_backend= and its deprecated "
-                "alias backend="
-            )
-        exec_backend = legacy["exec_backend"]
-    if "num_threads" in legacy:
-        if num_threads is not None:
-            raise TypeError(
-                f"{owner}() got both num_threads= and its deprecated "
-                "alias threads="
-            )
-        num_threads = legacy["num_threads"]
     return num_threads, (exec_backend if exec_backend is not None else "serial")

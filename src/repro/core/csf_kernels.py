@@ -24,6 +24,14 @@ boundaries to it.  Boundary tree nodes are therefore computed *partially*
 by each adjacent thread; because every contraction is linear in ``t``,
 partial contributions merge correctly at any level (this is exactly the
 property STeF's boundary-replication scheme exploits).
+
+The inner loops themselves live behind the flat-array kernel ABI
+(:mod:`repro.kernels`): every primitive here takes a ``tier=`` name and
+routes its gathers, multiplies, expansions and segmented reduces through
+the dispatch layer, so the same wrapper drives either the NumPy
+reference tier or the Numba-compiled tier with bit-identical results.
+Traffic stays charged in these wrappers (never inside the tiers), which
+is what keeps TrafficCounter totals exactly equal across tiers.
 """
 
 from __future__ import annotations
@@ -33,6 +41,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..kernels.dispatch import (
+    TIER_NUMPY,
+    gather_multiply_rows,
+    parent_of,
+    repeat_rows,
+    scatter_rows_add,
+    segment_reduce_rows,
+    take_factor_rows,
+    value_gather_rows,
+)
 from ..parallel.counters import NULL_COUNTER, TrafficCounter
 from ..tensor.csf import CsfTensor
 
@@ -46,22 +64,19 @@ __all__ = [
 ]
 
 
-def scatter_add_rows(out: np.ndarray, idx: np.ndarray, rows: np.ndarray) -> None:
+def scatter_add_rows(
+    out: np.ndarray, idx: np.ndarray, rows: np.ndarray, tier: str = TIER_NUMPY
+) -> None:
     """``out[idx[p], :] += rows[p, :]`` with duplicate indices.
 
-    Sorts by target row and segment-reduces with ``np.add.reduceat`` —
-    one vectorized pass over all rank columns at once, with temporaries
-    sized by the *input* (nnz) rather than the output matrix.  Orders of
-    magnitude faster than ``np.add.at`` and beats per-column ``bincount``
-    whenever the output has many rows.
+    Sorts by target row and segment-reduces — one vectorized pass over
+    all rank columns at once, with temporaries sized by the *input*
+    (nnz) rather than the output matrix.  Orders of magnitude faster
+    than ``np.add.at`` and beats per-column ``bincount`` whenever the
+    output has many rows.  The loop lives in the kernel ABI
+    (:func:`repro.kernels.dispatch.scatter_rows_add`).
     """
-    if idx.size == 0:
-        return
-    order = np.argsort(idx, kind="stable")
-    sidx = idx[order]
-    starts = np.flatnonzero(np.diff(sidx, prepend=-1))
-    sums = np.add.reduceat(rows[order], starts, axis=0)
-    out[sidx[starts]] += sums
+    scatter_rows_add(out, idx, rows, tier=tier)
 
 
 @dataclass(frozen=True)
@@ -99,8 +114,8 @@ def ancestor_windows(
     out[level] = LevelSlice(lo, hi)
     a, b = lo, hi - 1
     for i in range(level - 1, -1, -1):
-        a = int(csf.find_parent(i, np.array([a]))[0])
-        b = int(csf.find_parent(i, np.array([b]))[0])
+        a = parent_of(csf.ptr[i], a)
+        b = parent_of(csf.ptr[i], b)
         # lint: disable-next-line=flow.traffic-conformance
         out[i] = LevelSlice(a, b + 1)
     return out
@@ -132,6 +147,7 @@ def thread_upward_sweep(
     start_level: Optional[int] = None,
     init: Optional[np.ndarray] = None,
     stop_level: int = 0,
+    tier: str = TIER_NUMPY,
 ) -> Dict[int, Tuple[int, np.ndarray]]:
     """One thread's share of the TTM/mTTV contraction chain.
 
@@ -155,6 +171,9 @@ def thread_upward_sweep(
     stop_level:
         Deepest level whose partial ``t`` should be *returned* — the sweep
         contracts down to (and including) ``stop_level``.
+    tier:
+        Kernel-ABI execution tier (``"numpy"`` or ``"numba"``); resolved
+        by the owning engine's ``jit=`` knob.
 
     Returns
     -------
@@ -179,32 +198,45 @@ def thread_upward_sweep(
 
     # Seed contributions at the start level, already multiplied by the
     # start level's factor rows (the TTM step when starting from leaves).
-    sl = slice(child_lo, child_hi)
     if start_level == d - 1:
-        contrib = csf.values[sl, None] * np.asarray(level_factors[d - 1])[
-            csf.idx[d - 1][sl]
-        ]
+        contrib = value_gather_rows(
+            csf.values,
+            np.asarray(level_factors[d - 1]),
+            csf.idx[d - 1],
+            child_lo,
+            child_hi,
+            tier=tier,
+        )
     else:
         if init is None:
             raise ValueError("resuming from a memoized level requires init")
-        contrib = init[sl] * np.asarray(level_factors[start_level])[
-            csf.idx[start_level][sl]
-        ]
+        contrib = gather_multiply_rows(
+            init[child_lo:child_hi],
+            np.asarray(level_factors[start_level]),
+            csf.idx[start_level],
+            child_lo,
+            child_hi,
+            tier=tier,
+        )
 
     lo, hi = child_lo, child_hi
     for level in range(start_level - 1, stop_level - 1, -1):
         window = LevelSlice(
-            int(csf.find_parent(level, np.array([lo]))[0]),
-            int(csf.find_parent(level, np.array([hi - 1]))[0]) + 1,
+            parent_of(csf.ptr[level], lo),
+            parent_of(csf.ptr[level], hi - 1) + 1,
         )
         rel = _segment_starts(csf, level, window, lo, hi)
-        t_partial = np.add.reduceat(contrib, rel, axis=0)
+        t_partial = segment_reduce_rows(contrib, rel, tier=tier)
         out[level] = (window.lo, t_partial)
         if level > stop_level:
-            factor_rows = np.asarray(level_factors[level])[
-                csf.idx[level][window.lo : window.hi]
-            ]
-            contrib = t_partial * factor_rows
+            contrib = gather_multiply_rows(
+                t_partial,
+                np.asarray(level_factors[level]),
+                csf.idx[level],
+                window.lo,
+                window.hi,
+                tier=tier,
+            )
             lo, hi = window.lo, window.hi
     return out
 
@@ -215,6 +247,7 @@ def expand_rows(
     level: int,
     window: LevelSlice,
     child_window: LevelSlice,
+    tier: str = TIER_NUMPY,
 ) -> np.ndarray:
     """Repeat per-node ``rows`` at ``level`` once per owned child.
 
@@ -229,7 +262,7 @@ def expand_rows(
         child_window.lo,
         child_window.hi,
     )
-    return np.repeat(rows, child_ends - child_starts, axis=0)
+    return repeat_rows(rows, child_ends - child_starts, tier=tier)
 
 
 def thread_downward_k(
@@ -241,6 +274,7 @@ def thread_downward_k(
     *,
     multiply_last: bool = False,
     windows: Optional[List[LevelSlice]] = None,
+    tier: str = TIER_NUMPY,
 ) -> np.ndarray:
     """One thread's ``k`` rows aligned with the half-open node range
     ``[lo, hi)`` at ``level``.
@@ -263,16 +297,23 @@ def thread_downward_k(
     if windows is None:
         windows = ancestor_windows(csf, level, lo, hi)
     w0 = windows[0]
-    k = np.asarray(level_factors[0])[csf.idx[0][w0.lo : w0.hi]]
+    k = take_factor_rows(
+        np.asarray(level_factors[0]), csf.idx[0], w0.lo, w0.hi, tier=tier
+    )
     if level == 0:
         return k if multiply_last else np.ones((hi - lo, rank))
     for i in range(level):
         w, w_child = windows[i], windows[i + 1]
-        k = expand_rows(csf, k, i, w, w_child)
+        k = expand_rows(csf, k, i, w, w_child, tier=tier)
         if i + 1 < level or multiply_last:
-            k = k * np.asarray(level_factors[i + 1])[
-                csf.idx[i + 1][w_child.lo : w_child.hi]
-            ]
+            k = gather_multiply_rows(
+                k,
+                np.asarray(level_factors[i + 1]),
+                csf.idx[i + 1],
+                w_child.lo,
+                w_child.hi,
+                tier=tier,
+            )
     return k
 
 
@@ -284,6 +325,7 @@ def serial_upward_sweep(
     start_level: Optional[int] = None,
     init: Optional[np.ndarray] = None,
     counter: TrafficCounter = NULL_COUNTER,
+    tier: str = TIER_NUMPY,
 ) -> Dict[int, np.ndarray]:
     """Single-threaded full sweep: complete ``t`` arrays per level.
 
@@ -311,5 +353,6 @@ def serial_upward_sweep(
         start_level=start_level,
         init=init,
         stop_level=stop_level,
+        tier=tier,
     )
     return {level: t for level, (lo, t) in parts.items()}

@@ -49,6 +49,7 @@ import numpy as np
 
 from ..compat import canonicalize_kwargs
 from ..engines.base import EngineBase
+from ..kernels.dispatch import resolve_tier, scale_rows_by_values
 from ..parallel.counters import NULL_COUNTER, ShardedTrafficCounter, TrafficCounter
 from ..parallel.executor import ReplicatedArray, SimulatedPool
 from ..parallel.partition import ThreadPartition, nnz_partition, slice_partition
@@ -90,8 +91,15 @@ class MemoizedMttkrp(EngineBase):
         ``"serial"`` (deterministic), ``"threads"`` (real thread pool),
         or ``"processes"`` (persistent multiprocessing workers over
         shared-memory segments — bit-identical to ``serial``, scales
-        wall-clock with cores).  The old spelling ``backend=`` is
-        accepted with a deprecation warning.
+        wall-clock with cores).  The pre-1.0 spelling ``backend=`` now
+        raises ``TypeError``.
+    jit:
+        Kernel-tier selection — ``"off"`` (default, NumPy tier),
+        ``"auto"`` (compiled tier when Numba is available, silent
+        fallback otherwise) or ``"on"`` (compiled tier or
+        ``RuntimeError``).  Resolved once here via
+        :func:`repro.kernels.resolve_tier`; the chosen tier name is
+        exposed as :attr:`kernel_tier`.
     counter:
         Traffic accounting target; defaults to the no-op counter.
     tracer:
@@ -111,25 +119,21 @@ class MemoizedMttkrp(EngineBase):
         num_threads: int = 1,
         partition: str = "nnz",
         exec_backend: Optional[str] = None,
+        jit: str = "off",
         counter: TrafficCounter = NULL_COUNTER,
         tracer: Tracer = NULL_TRACER,
-        **deprecated,
+        **removed,
     ) -> None:
-        legacy = canonicalize_kwargs(
-            "MemoizedMttkrp", deprecated, {"backend": "exec_backend"}
-        )
-        if "exec_backend" in legacy:
-            if exec_backend is not None:
-                raise TypeError(
-                    "MemoizedMttkrp() got both exec_backend= and its "
-                    "deprecated alias backend="
-                )
-            exec_backend = legacy["exec_backend"]
+        # Raises TypeError for the retired backend= spelling (and any
+        # other unknown keyword) with a migration hint.
+        canonicalize_kwargs("MemoizedMttkrp", removed, {"backend": "exec_backend"})
         backend = exec_backend if exec_backend is not None else "serial"
         plan.validate(csf.ndim)
         self.csf = csf
         self.rank = rank
         self.plan = plan
+        #: Resolved kernel-ABI tier ("numpy" or "numba") for every sweep.
+        self.kernel_tier = resolve_tier(jit)
         self.counter = counter
         self.tracer = tracer
         self.pool = SimulatedPool(num_threads, backend, tracer=tracer)
@@ -160,6 +164,7 @@ class MemoizedMttkrp(EngineBase):
                 self.pool.num_threads,
                 counter.cache_elements,
                 counter.enabled,
+                tier=self.kernel_tier,
             )
 
     # ------------------------------------------------------------------
@@ -274,7 +279,9 @@ class MemoizedMttkrp(EngineBase):
             def body(th: int) -> Dict[int, Tuple[int, np.ndarray]]:
                 self._charge_thread_sweep(th)
                 lo, hi = part.leaf_range(th)
-                return thread_upward_sweep(csf, lf, lo, hi, stop_level=0)
+                return thread_upward_sweep(
+                    csf, lf, lo, hi, stop_level=0, tier=self.kernel_tier
+                )
 
             results = self.pool.map(body)
             for th, res in enumerate(results):
@@ -415,7 +422,12 @@ class MemoizedMttkrp(EngineBase):
         else:
             contribs = self._recompute_contribs(lf, u, source)
         for nlo, contrib in contribs:
-            scatter_add_rows(out, csf.idx[u][nlo : nlo + contrib.shape[0]], contrib)
+            scatter_add_rows(
+                out,
+                csf.idx[u][nlo : nlo + contrib.shape[0]],
+                contrib,
+                tier=self.kernel_tier,
+            )
 
         self.shards.merge_into(self.counter)
         self._charge_mode_u(u, source)
@@ -430,7 +442,7 @@ class MemoizedMttkrp(EngineBase):
         def body(th: int) -> Tuple[int, np.ndarray]:
             self._charge_thread_mode_u(th, u, u)
             a, b = int(part.starts[th, u]), int(part.starts[th + 1, u])
-            k = thread_downward_k(csf, lf, u, a, b)
+            k = thread_downward_k(csf, lf, u, a, b, tier=self.kernel_tier)
             return a, k * memo[a:b]
 
         return self.pool.map(body)
@@ -452,14 +464,25 @@ class MemoizedMttkrp(EngineBase):
             self._charge_thread_mode_u(th, u, source)
             if source == d - 1:
                 lo, hi = part.leaf_range(th)
-                res = thread_upward_sweep(csf, lf, lo, hi, stop_level=u)
+                res = thread_upward_sweep(
+                    csf, lf, lo, hi, stop_level=u, tier=self.kernel_tier
+                )
             else:
                 a, b = int(part.starts[th, source]), int(part.starts[th + 1, source])
                 res = thread_upward_sweep(
-                    csf, lf, a, b, start_level=source, init=init, stop_level=u
+                    csf,
+                    lf,
+                    a,
+                    b,
+                    start_level=source,
+                    init=init,
+                    stop_level=u,
+                    tier=self.kernel_tier,
                 )
             nlo, tp = res[u]
-            k = thread_downward_k(csf, lf, u, nlo, nlo + tp.shape[0])
+            k = thread_downward_k(
+                csf, lf, u, nlo, nlo + tp.shape[0], tier=self.kernel_tier
+            )
             return nlo, k * tp
 
         return self.pool.map(body)
@@ -473,8 +496,10 @@ class MemoizedMttkrp(EngineBase):
         def body(th: int) -> Tuple[int, np.ndarray]:
             self._charge_thread_mode_u(th, d - 1, d - 1)
             lo, hi = part.leaf_range(th)
-            k = thread_downward_k(csf, lf, d - 1, lo, hi)
-            return lo, csf.values[lo:hi, None] * k
+            k = thread_downward_k(csf, lf, d - 1, lo, hi, tier=self.kernel_tier)
+            return lo, scale_rows_by_values(
+                csf.values, k, lo, hi, tier=self.kernel_tier
+            )
 
         return self.pool.map(body)
 

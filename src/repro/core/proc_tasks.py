@@ -41,6 +41,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..kernels.dispatch import TIER_NUMPY, scale_rows_by_values
 from ..parallel.counters import TrafficCounter
 from ..parallel.shm import SharedArena, ShmToken, attach
 from ..tensor.csf import CsfTensor
@@ -145,6 +146,12 @@ def _owned(ctx: Dict[str, Any], th: int) -> np.ndarray:
     return (starts[th + 1] - starts[th]).astype(np.int64)
 
 
+def _tier(ctx: Dict[str, Any]) -> str:
+    """Kernel-ABI tier for this dispatch (the coordinator resolved the
+    engine's ``jit=`` knob; workers never re-probe Numba themselves)."""
+    return ctx.get("tier", TIER_NUMPY)
+
+
 def emit_contrib(
     scratch_token: ShmToken,
     nlo: int,
@@ -187,7 +194,7 @@ def mode0_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     starts = ctx["starts"]
     d = csf.ndim
     lo, hi = int(starts[th, d - 1]), int(starts[th + 1, d - 1])
-    res = thread_upward_sweep(csf, lf, lo, hi, stop_level=0)
+    res = thread_upward_sweep(csf, lf, lo, hi, stop_level=0, tier=_tier(ctx))
     ranges: Dict[int, Tuple[int, int]] = {}
     for lvl in payload["keep_levels"]:
         nlo, tp = res[lvl]
@@ -207,7 +214,7 @@ def memo_direct_task(payload: Dict[str, Any]) -> Tuple[str, int, Any, tuple]:
     charge_mode_u(counter, _owned(ctx, th), u, u, csf.ndim, ctx["rank"])
     starts = ctx["starts"]
     a, b = int(starts[th, u]), int(starts[th + 1, u])
-    k = thread_downward_k(csf, lf, u, a, b)
+    k = thread_downward_k(csf, lf, u, a, b, tier=_tier(ctx))
     memo = attach(ctx["memo"][u])
     return _emit_contrib(ctx, th, a, k * memo[a:b], counter)
 
@@ -225,15 +232,24 @@ def recompute_task(payload: Dict[str, Any]) -> Tuple[str, int, Any, tuple]:
     d = csf.ndim
     if source == d - 1:
         lo, hi = int(starts[th, d - 1]), int(starts[th + 1, d - 1])
-        res = thread_upward_sweep(csf, lf, lo, hi, stop_level=u)
+        res = thread_upward_sweep(
+            csf, lf, lo, hi, stop_level=u, tier=_tier(ctx)
+        )
     else:
         a, b = int(starts[th, source]), int(starts[th + 1, source])
         init = attach(ctx["memo"][source])
         res = thread_upward_sweep(
-            csf, lf, a, b, start_level=source, init=init, stop_level=u
+            csf,
+            lf,
+            a,
+            b,
+            start_level=source,
+            init=init,
+            stop_level=u,
+            tier=_tier(ctx),
         )
     nlo, tp = res[u]
-    k = thread_downward_k(csf, lf, u, nlo, nlo + tp.shape[0])
+    k = thread_downward_k(csf, lf, u, nlo, nlo + tp.shape[0], tier=_tier(ctx))
     return _emit_contrib(ctx, th, nlo, k * tp, counter)
 
 
@@ -247,8 +263,11 @@ def leaf_task(payload: Dict[str, Any]) -> Tuple[str, int, Any, tuple]:
     charge_mode_u(counter, _owned(ctx, th), d - 1, d - 1, d, ctx["rank"])
     starts = ctx["starts"]
     lo, hi = int(starts[th, d - 1]), int(starts[th + 1, d - 1])
-    k = thread_downward_k(csf, lf, d - 1, lo, hi)
-    return _emit_contrib(ctx, th, lo, csf.values[lo:hi, None] * k, counter)
+    tier = _tier(ctx)
+    k = thread_downward_k(csf, lf, d - 1, lo, hi, tier=tier)
+    return _emit_contrib(
+        ctx, th, lo, scale_rows_by_values(csf.values, k, lo, hi, tier=tier), counter
+    )
 
 
 # ----------------------------------------------------------------------
@@ -271,10 +290,12 @@ class ProcessEngineContext:
         num_threads: int,
         cache_elements: Optional[int],
         enabled: bool,
+        tier: str = TIER_NUMPY,
     ) -> None:
         self.arena = SharedArena()
         self.rank = rank
         self.num_threads = num_threads
+        self.tier = tier
         self._csf_spec = {
             "mode_order": csf.mode_order,
             "shape": csf.shape,
@@ -357,6 +378,7 @@ class ProcessEngineContext:
             "scratch": self._scratch(),
             "cache_elements": self._cache_elements,
             "enabled": self._enabled,
+            "tier": self.tier,
         }
 
     def close(self) -> None:

@@ -56,8 +56,13 @@ class Stef(EngineBase):
         ``"nnz"`` (Algorithm 3) or ``"slice"`` (prior work, ablation).
     exec_backend:
         ``"serial"``, ``"threads"``, or ``"processes"`` pool execution
-        (see :class:`~repro.parallel.executor.SimulatedPool`).  The old
-        spelling ``backend=`` is accepted with a deprecation warning.
+        (see :class:`~repro.parallel.executor.SimulatedPool`).  The
+        pre-1.0 spelling ``backend=`` now raises ``TypeError``.
+    jit:
+        Kernel-tier selection (``"off"``/``"auto"``/``"on"``, see
+        :func:`repro.kernels.resolve_tier`).  ``None`` takes the class
+        default — ``"off"`` for plain ``stef``, ``"auto"`` for the
+        registered ``stef-jit`` engine.
     counter:
         Traffic accounting target.
     tracer:
@@ -79,6 +84,8 @@ class Stef(EngineBase):
     """
 
     name = "stef"
+    jit_capable = True
+    memoize_capable = True
 
     def __init__(
         self,
@@ -91,13 +98,16 @@ class Stef(EngineBase):
         swap_last_two: Optional[bool] = None,
         partition: str = "nnz",
         exec_backend: Optional[str] = None,
+        jit: Optional[str] = None,
         counter: TrafficCounter = NULL_COUNTER,
         tracer: Tracer = NULL_TRACER,
-        **deprecated,
+        **removed,
     ) -> None:
         num_threads, exec_backend = resolve_engine_aliases(
-            type(self).__name__, num_threads, exec_backend, deprecated
+            type(self).__name__, num_threads, exec_backend, removed
         )
+        if jit is None:
+            jit = type(self).jit_default
         self.tensor = tensor
         self.rank = rank
         self.machine = machine
@@ -143,9 +153,12 @@ class Stef(EngineBase):
             num_threads=threads,
             partition=partition,
             exec_backend=exec_backend,
+            jit=jit,
             counter=counter,
             tracer=tracer,
         )
+        #: Resolved kernel-ABI tier actually executing the sweeps.
+        self.kernel_tier = self.engine.kernel_tier
 
     # ------------------------------------------------------------------
     @property

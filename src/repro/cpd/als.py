@@ -161,13 +161,7 @@ def cp_als(
         records an ``als.iteration`` span enclosing the engine's kernel
         spans.  The no-op tracer by default.
     """
-    legacy = canonicalize_kwargs("cp_als", deprecated, {"backend": "engine"})
-    if "engine" in legacy:
-        if engine is not None:
-            raise TypeError(
-                "cp_als() got both engine= and its deprecated alias backend="
-            )
-        engine = legacy["engine"]
+    canonicalize_kwargs("cp_als", deprecated, {"backend": "engine"})
     if engine is None:
         from ..core.stef import Stef
 

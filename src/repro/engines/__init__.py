@@ -18,16 +18,33 @@ segments even on exceptions (the ``engine-protocol`` lint rule enforces
 the inheritance statically; ``tests/test_engines.py`` checks the
 protocol at runtime).
 
-Constructors share the canonical keyword set ``(tensor, rank, *,
-machine=None, num_threads=None, exec_backend="serial",
-counter=NULL_COUNTER, tracer=NULL_TRACER, ...engine-specific opts)``;
-deprecated spellings (``threads=``, ``backend=``) are accepted with a
-one-time :class:`DeprecationWarning` via :mod:`repro.compat`.
+The factory has a **typed signature**: ``create_engine(name, tensor,
+rank, *, machine=None, num_threads=None, exec_backend=None,
+memoize=None, jit=None, counter=None, tracer=None, **engine_opts)``.
+The named keywords are validated against the engine's capability
+metadata (:class:`EngineInfo` — ``jit_capable``, ``exec_backends``,
+``memoize_capable``) *before* construction, so a typo'd backend or a
+``jit=`` request to an engine without the kernel-ABI port fails with a
+targeted message instead of a generic unknown-kwarg error.  The retired
+spellings (``threads=``, ``backend=``) raise ``TypeError`` with a
+migration hint via :mod:`repro.compat`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Protocol, Sequence, Tuple, Type, runtime_checkable
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+    runtime_checkable,
+)
 
 import numpy as np
 
@@ -36,6 +53,7 @@ from .base import EngineBase, resolve_num_threads
 __all__ = [
     "MttkrpEngine",
     "EngineBase",
+    "EngineInfo",
     "ENGINES",
     "create_engine",
     "engine_names",
@@ -107,21 +125,83 @@ def register_engine(name: str, cls: Type[EngineBase]) -> Type[EngineBase]:
     return cls
 
 
-def engine_names() -> List[str]:
-    """Sorted registered engine names (the CLI's ``--backend`` choices)."""
+@dataclass(frozen=True)
+class EngineInfo:
+    """Capability metadata of one registered engine (read off the class
+    attributes :class:`~repro.engines.base.EngineBase` declares)."""
+
+    name: str
+    jit_capable: bool
+    jit_default: str
+    exec_backends: Tuple[str, ...]
+    memoize_capable: bool
+
+    @classmethod
+    def of(cls, name: str, engine_cls: Type[EngineBase]) -> "EngineInfo":
+        return cls(
+            name=name,
+            jit_capable=bool(engine_cls.jit_capable),
+            jit_default=str(engine_cls.jit_default),
+            exec_backends=tuple(engine_cls.exec_backends),
+            memoize_capable=bool(engine_cls.memoize_capable),
+        )
+
+    def summary(self) -> str:
+        """One-line capability summary (the CLI's ``--engine`` help)."""
+        caps = []
+        if self.jit_capable:
+            caps.append(f"jit={self.jit_default}")
+        if self.memoize_capable:
+            caps.append("memoize")
+        caps.append("/".join(self.exec_backends))
+        return f"{self.name} [{', '.join(caps)}]"
+
+
+def engine_names(detail: bool = False) -> Union[List[str], List[EngineInfo]]:
+    """Sorted registered engine names (the CLI's ``--engine`` choices).
+
+    With ``detail=True``, returns :class:`EngineInfo` records instead of
+    bare names, in the same sorted order.
+    """
     _ensure_seeded()
-    return sorted(ENGINES)
+    names = sorted(ENGINES)
+    if detail:
+        return [EngineInfo.of(n, ENGINES[n]) for n in names]
+    return names
 
 
-def create_engine(name: str, tensor, rank: int, **opts) -> EngineBase:
+def create_engine(
+    name: str,
+    tensor,
+    rank: int,
+    *,
+    machine=None,
+    num_threads: Optional[int] = None,
+    exec_backend: Optional[str] = None,
+    memoize: Optional[bool] = None,
+    jit: Optional[str] = None,
+    counter=None,
+    tracer=None,
+    **engine_opts: Any,
+) -> EngineBase:
     """Construct the engine registered under ``name``.
 
-    All keyword options pass through to the engine constructor —
-    ``machine=``, ``num_threads=``, ``exec_backend=``, ``counter=``,
-    ``tracer=``, and engine-specific knobs like STeF's ``plan=`` /
-    ``swap_last_two=``.  This is the **only** supported construction
-    path for name-driven dispatch; consumers must not reimplement the
-    ``if name == ...`` ladder.
+    The named keywords are the canonical cross-engine knobs, validated
+    against the engine's :class:`EngineInfo` capabilities before
+    construction:
+
+    * ``exec_backend`` must be one of the engine's ``exec_backends``;
+    * ``jit`` requires a jit-capable engine (one whose kernels route
+      through the flat-array ABI) and one of ``"auto"|"on"|"off"``;
+    * ``memoize`` requires a memoize-capable engine; ``memoize=False``
+      forces the empty memoization plan (and conflicts with an explicit
+      ``plan=``), ``memoize=True`` just asserts the capability and lets
+      the engine's planner choose.
+
+    Engine-specific knobs (STeF's ``plan=`` / ``swap_last_two=``, TACO's
+    ``autotune=``) pass through ``**engine_opts``.  This is the **only**
+    supported construction path for name-driven dispatch; consumers must
+    not reimplement the ``if name == ...`` ladder.
     """
     _ensure_seeded()
     try:
@@ -130,6 +210,47 @@ def create_engine(name: str, tensor, rank: int, **opts) -> EngineBase:
         raise ValueError(
             f"unknown engine {name!r}; registered engines: {engine_names()}"
         ) from None
+    info = EngineInfo.of(name, cls)
+    if exec_backend is not None and exec_backend not in info.exec_backends:
+        raise ValueError(
+            f"engine {name!r} supports exec_backend in "
+            f"{list(info.exec_backends)}, got {exec_backend!r}"
+        )
+    if jit is not None and not info.jit_capable:
+        raise TypeError(
+            f"engine {name!r} does not support jit= (its kernels are not "
+            "routed through the flat-array kernel ABI); jit-capable "
+            f"engines: {[i.name for i in engine_names(detail=True) if i.jit_capable]}"
+        )
+    if memoize is not None:
+        if not info.memoize_capable:
+            raise TypeError(
+                f"engine {name!r} does not support memoize= (it keeps no "
+                "partial results); memoize-capable engines: "
+                f"{[i.name for i in engine_names(detail=True) if i.memoize_capable]}"
+            )
+        if not memoize:
+            if "plan" in engine_opts:
+                raise TypeError(
+                    "memoize=False conflicts with an explicit plan=; "
+                    "pass one or the other"
+                )
+            from ..core.memoization import SAVE_NONE
+
+            engine_opts["plan"] = SAVE_NONE
+    opts: Dict[str, Any] = dict(engine_opts)
+    if machine is not None:
+        opts["machine"] = machine
+    if num_threads is not None:
+        opts["num_threads"] = num_threads
+    if exec_backend is not None:
+        opts["exec_backend"] = exec_backend
+    if jit is not None:
+        opts["jit"] = jit
+    if counter is not None:
+        opts["counter"] = counter
+    if tracer is not None:
+        opts["tracer"] = tracer
     return cls(tensor, rank, **opts)
 
 

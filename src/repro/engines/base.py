@@ -46,6 +46,20 @@ class EngineBase:
     #: Update-position → original-mode mapping; subclasses set this.
     mode_order: Tuple[int, ...] = ()
 
+    # -- capability metadata (read by create_engine / engine_names) ----
+    #: Whether the engine's kernels route through the flat-array kernel
+    #: ABI and accept the ``jit=`` keyword.
+    jit_capable: bool = False
+    #: Default ``jit=`` mode when the caller passes ``None`` — ``"off"``
+    #: for the plain engines, ``"auto"`` for the registered ``*-jit``
+    #: variants.
+    jit_default: str = "off"
+    #: Pool-execution modes the engine accepts.
+    exec_backends: Tuple[str, ...] = ("serial", "threads", "processes")
+    #: Whether the engine memoizes partial results (accepts ``plan=`` /
+    #: the factory's ``memoize=`` knob).
+    memoize_capable: bool = False
+
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
         """Release engine resources (shared-memory segments under the

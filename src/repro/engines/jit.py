@@ -1,0 +1,53 @@
+"""The ``*-jit`` engine tier: registered names for compiled-kernel runs.
+
+Each class here is its base engine with one class attribute flipped:
+``jit_default = "auto"``, so constructing it (directly or through
+``create_engine``) selects the Numba-compiled kernel tier when the
+``[jit]`` extra is installed and falls back to the NumPy tier otherwise
+(or when ``REPRO_NO_JIT=1``).  Nothing else changes — partitioning,
+traffic accounting, memoization plans and exec backends are inherited,
+and the tier contract (bit-identical outputs, exactly equal
+TrafficCounter totals) makes the ``*-jit`` names drop-in substitutes in
+every harness arm.
+
+Passing ``jit=`` explicitly still wins over the class default, so
+``create_engine("stef-jit", ..., jit="on")`` is the hard-require
+spelling CI's with-numba arm uses.
+"""
+
+from __future__ import annotations
+
+from ..baselines.dimtree import DimTreeBackend
+from ..baselines.taco import TacoBackend
+from ..core.stef import Stef
+from ..core.stef2 import Stef2
+
+__all__ = ["StefJit", "Stef2Jit", "TacoJit", "DimTreeJit"]
+
+
+class StefJit(Stef):
+    """STeF with the compiled kernel tier selected by default."""
+
+    name = "stef-jit"
+    jit_default = "auto"
+
+
+class Stef2Jit(Stef2):
+    """STeF2 with the compiled kernel tier selected by default."""
+
+    name = "stef2-jit"
+    jit_default = "auto"
+
+
+class TacoJit(TacoBackend):
+    """TACO-style baseline with the compiled kernel tier by default."""
+
+    name = "taco-jit"
+    jit_default = "auto"
+
+
+class DimTreeJit(DimTreeBackend):
+    """Dimension-tree baseline with the compiled kernel tier by default."""
+
+    name = "dimtree-jit"
+    jit_default = "auto"

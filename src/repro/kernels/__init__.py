@@ -1,0 +1,52 @@
+"""repro.kernels — the flat-array kernel ABI and its execution tiers.
+
+The segmented MTTKRP / mTTV inner loops of the CSF sweeps are expressed
+against a small ABI of functions taking **only ndarrays and scalars**
+(CSF pointer/index arrays, factor matrices, output buffers, plan
+integers) plus an explicit ``tier=`` name.  Two tiers implement it:
+
+* :mod:`repro.kernels.numpy_tier` — the vectorized NumPy expressions the
+  kernels always used (the reference, and the fallback when Numba is
+  absent or ``REPRO_NO_JIT=1``);
+* :mod:`repro.kernels.numba_tier` — ``@njit(cache=True)`` compiled
+  loops, selected through the engines' ``jit=`` keyword.
+
+:mod:`repro.kernels.dispatch` routes calls between them and owns tier
+resolution (:func:`resolve_tier`, :func:`jit_available`).  The contract
+between tiers is bit-identical outputs and exactly equal
+TrafficCounter totals — see API.md ("The kernel ABI and the jit tier").
+"""
+
+from .dispatch import (
+    JIT_MODES,
+    TIER_NUMBA,
+    TIER_NUMPY,
+    gather_multiply_rows,
+    jit_available,
+    parent_of,
+    repeat_rows,
+    resolve_tier,
+    scale_rows_by_values,
+    scatter_rows_add,
+    segment_reduce_rows,
+    segment_sum_rows,
+    take_factor_rows,
+    value_gather_rows,
+)
+
+__all__ = [
+    "JIT_MODES",
+    "TIER_NUMBA",
+    "TIER_NUMPY",
+    "gather_multiply_rows",
+    "jit_available",
+    "parent_of",
+    "repeat_rows",
+    "resolve_tier",
+    "scale_rows_by_values",
+    "scatter_rows_add",
+    "segment_reduce_rows",
+    "segment_sum_rows",
+    "take_factor_rows",
+    "value_gather_rows",
+]

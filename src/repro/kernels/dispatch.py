@@ -1,0 +1,196 @@
+"""Tier dispatch for the flat-array kernel ABI.
+
+The kernel wrappers in :mod:`repro.core.csf_kernels`,
+:mod:`repro.core.proc_tasks` and :mod:`repro.ops.partial` call the ABI
+functions defined here by plain name with an explicit ``tier=`` argument;
+this module routes each call to the NumPy reference tier
+(:mod:`repro.kernels.numpy_tier`) or the Numba-compiled tier
+(:mod:`repro.kernels.numba_tier`).
+
+Tier selection is the engines' ``jit=`` keyword, resolved once at
+construction by :func:`resolve_tier`:
+
+* ``"off"`` (the plain engines' default) — always the NumPy tier;
+* ``"auto"`` (the ``*-jit`` engines' default) — the compiled tier when
+  Numba imports and ``REPRO_NO_JIT`` is unset, else a silent fallback
+  to the NumPy tier;
+* ``"on"`` — the compiled tier, raising :class:`RuntimeError` when it
+  is unavailable (CI's with-numba arm uses this so a broken install
+  cannot silently fall back).
+
+Setting ``REPRO_NO_JIT=1`` disables the compiled tier globally (the
+no-numba CI arm and the forced-fallback tests).
+
+The tier contract is **exact**: both tiers produce bit-identical arrays
+for every ABI call, and traffic is charged in the Python wrappers around
+these calls, so :class:`~repro.parallel.counters.TrafficCounter` totals
+are equal across tiers by construction.  See
+:mod:`repro.kernels.numba_tier` for how the reduction primitives keep
+the accumulation order tier-invariant.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from . import numpy_tier as _np_tier
+
+__all__ = [
+    "TIER_NUMPY",
+    "TIER_NUMBA",
+    "JIT_MODES",
+    "jit_available",
+    "resolve_tier",
+    "segment_reduce_rows",
+    "segment_sum_rows",
+    "scatter_rows_add",
+    "gather_multiply_rows",
+    "value_gather_rows",
+    "scale_rows_by_values",
+    "take_factor_rows",
+    "repeat_rows",
+    "parent_of",
+]
+
+TIER_NUMPY = "numpy"
+TIER_NUMBA = "numba"
+#: Valid values of the engines' ``jit=`` keyword.
+JIT_MODES = ("auto", "on", "off")
+
+#: Cached result of the numba import probe (None = not yet probed).
+_NUMBA_IMPORTABLE: Optional[bool] = None
+_NUMBA_TIER = None
+
+
+def _numba_importable() -> bool:
+    global _NUMBA_IMPORTABLE
+    if _NUMBA_IMPORTABLE is None:
+        try:
+            import numba  # noqa: F401
+
+            _NUMBA_IMPORTABLE = True
+        except ImportError:
+            _NUMBA_IMPORTABLE = False
+    return _NUMBA_IMPORTABLE
+
+
+def jit_available() -> bool:
+    """Whether the compiled tier can be selected right now: Numba imports
+    and ``REPRO_NO_JIT`` is unset/empty/``0`` (the environment knob is
+    re-read on every call so tests can toggle it)."""
+    if os.environ.get("REPRO_NO_JIT", "0") not in ("", "0"):
+        return False
+    return _numba_importable()
+
+
+def resolve_tier(jit: str = "auto") -> str:
+    """Resolve an engine's ``jit=`` keyword to a kernel tier name.
+
+    Raises ``RuntimeError`` for ``jit="on"`` when the compiled tier is
+    unavailable, and ``ValueError`` for spellings outside
+    :data:`JIT_MODES`.
+    """
+    if jit == "off":
+        return TIER_NUMPY
+    if jit == "on":
+        if not jit_available():
+            raise RuntimeError(
+                "jit='on' but the compiled kernel tier is unavailable "
+                "(numba not importable, or REPRO_NO_JIT is set); install "
+                "the [jit] extra or use jit='auto' for a silent fallback"
+            )
+        return TIER_NUMBA
+    if jit == "auto":
+        return TIER_NUMBA if jit_available() else TIER_NUMPY
+    raise ValueError(f"jit must be one of {JIT_MODES}, got {jit!r}")
+
+
+def _tier_module(tier: str):
+    if tier == TIER_NUMPY:
+        return _np_tier
+    if tier == TIER_NUMBA:
+        global _NUMBA_TIER
+        if _NUMBA_TIER is None:
+            from . import numba_tier
+
+            _NUMBA_TIER = numba_tier
+        return _NUMBA_TIER
+    raise ValueError(f"unknown kernel tier {tier!r}")
+
+
+# ----------------------------------------------------------------------
+# ABI entry points — flat arrays and scalars only, plus the tier name
+# ----------------------------------------------------------------------
+def segment_reduce_rows(
+    rows: np.ndarray, starts: np.ndarray, tier: str = TIER_NUMPY
+) -> np.ndarray:
+    """Segmented row sums over ``starts`` boundaries (the mTTV reduce)."""
+    return _tier_module(tier).segment_reduce_rows(rows, starts)
+
+
+def segment_sum_rows(
+    data: np.ndarray, seg: np.ndarray, n_seg: int, tier: str = TIER_NUMPY
+) -> np.ndarray:
+    """Sum rows into ``n_seg`` buckets given sorted segment ids."""
+    return _tier_module(tier).segment_sum_rows(data, seg, n_seg)
+
+
+def scatter_rows_add(
+    out: np.ndarray, idx: np.ndarray, rows: np.ndarray, tier: str = TIER_NUMPY
+) -> None:
+    """Duplicate-safe ``out[idx] += rows`` (sort + segmented reduce)."""
+    _tier_module(tier).scatter_rows_add(out, idx, rows)
+
+
+def gather_multiply_rows(
+    rows: np.ndarray,
+    factor: np.ndarray,
+    idx: np.ndarray,
+    lo: int,
+    hi: int,
+    tier: str = TIER_NUMPY,
+) -> np.ndarray:
+    """``rows * factor[idx[lo:hi]]`` with ``rows`` already ``(hi-lo, R)``."""
+    return _tier_module(tier).gather_multiply_rows(rows, factor, idx, lo, hi)
+
+
+def value_gather_rows(
+    values: np.ndarray,
+    factor: np.ndarray,
+    idx: np.ndarray,
+    lo: int,
+    hi: int,
+    tier: str = TIER_NUMPY,
+) -> np.ndarray:
+    """``values[lo:hi, None] * factor[idx[lo:hi]]`` (the TTM seed)."""
+    return _tier_module(tier).value_gather_rows(values, factor, idx, lo, hi)
+
+
+def scale_rows_by_values(
+    values: np.ndarray, rows: np.ndarray, lo: int, hi: int, tier: str = TIER_NUMPY
+) -> np.ndarray:
+    """``values[lo:hi, None] * rows`` (the leaf-mode MTTV kernel)."""
+    return _tier_module(tier).scale_rows_by_values(values, rows, lo, hi)
+
+
+def take_factor_rows(
+    factor: np.ndarray, idx: np.ndarray, lo: int, hi: int, tier: str = TIER_NUMPY
+) -> np.ndarray:
+    """``factor[idx[lo:hi]]`` — a plain factor-row gather."""
+    return _tier_module(tier).take_factor_rows(factor, idx, lo, hi)
+
+
+def repeat_rows(
+    rows: np.ndarray, counts: np.ndarray, tier: str = TIER_NUMPY
+) -> np.ndarray:
+    """``np.repeat(rows, counts, axis=0)`` (downward-``k`` expansion)."""
+    return _tier_module(tier).repeat_rows(rows, counts)
+
+
+def parent_of(ptr: np.ndarray, pos: int) -> int:
+    """Parent-level node whose child span in ``ptr`` contains ``pos``
+    (binary search; tier-invariant)."""
+    return _np_tier.parent_of(ptr, pos)

@@ -1,0 +1,192 @@
+"""Numba-compiled tier of the flat-array kernel ABI.
+
+Importing this module requires Numba; the dispatch layer only imports it
+after :func:`repro.kernels.dispatch.jit_available` has confirmed the
+import will succeed, so the package works (at the NumPy tier) on
+installations without the ``[jit]`` extra.
+
+What is compiled — and, just as deliberately, what is not:
+
+* **Compiled** (``@njit(cache=True, nogil=True)``): the gather-multiply,
+  value-seed, scale, take, repeat and permute loops — the per-level
+  inner operations of the upward/downward CSF sweeps.  These are
+  elementwise/gather kernels, so the compiled results are bit-identical
+  to the NumPy expressions *by construction* (same multiplications on
+  the same operands, no reassociation).  Fusing the index gather with
+  the multiply removes the ``factor[idx]`` temporary NumPy materializes
+  per level, and ``nogil=True`` lets the ``threads`` exec backend run
+  the compiled bodies concurrently.
+* **Not compiled**: the segmented reductions (``segment_reduce_rows``,
+  ``segment_sum_rows``, and the reduce step inside ``scatter_rows_add``)
+  call the same ``np.add.reduceat`` as the NumPy tier.  NumPy's
+  reduction order is chosen by its runtime SIMD dispatch (pairwise /
+  vector-accumulator schedules that vary with CPU features), so *no*
+  handwritten loop can replicate it portably bit-for-bit — and the
+  tier contract is exact equality, not closeness.  Sharing the one
+  reduction routine makes the accumulation order identical across tiers
+  by construction; the reduceat call is already memory-bound, so the
+  compiled tier loses little and the contract stays honest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+__all__ = [
+    "segment_reduce_rows",
+    "segment_sum_rows",
+    "scatter_rows_add",
+    "gather_multiply_rows",
+    "value_gather_rows",
+    "scale_rows_by_values",
+    "take_factor_rows",
+    "repeat_rows",
+]
+
+
+@njit(cache=True, nogil=True)
+def _gather_multiply(rows, factor, idx, lo, hi):
+    n = hi - lo
+    rank = rows.shape[1]
+    out = np.empty((n, rank), dtype=rows.dtype)
+    for p in range(n):
+        j = idx[lo + p]
+        for r in range(rank):
+            out[p, r] = rows[p, r] * factor[j, r]
+    return out
+
+
+@njit(cache=True, nogil=True)
+def _value_gather(values, factor, idx, lo, hi):
+    n = hi - lo
+    rank = factor.shape[1]
+    out = np.empty((n, rank), dtype=factor.dtype)
+    for p in range(n):
+        v = values[lo + p]
+        j = idx[lo + p]
+        for r in range(rank):
+            out[p, r] = v * factor[j, r]
+    return out
+
+
+@njit(cache=True, nogil=True)
+def _scale_rows(values, rows, lo, hi):
+    n = hi - lo
+    rank = rows.shape[1]
+    out = np.empty((n, rank), dtype=rows.dtype)
+    for p in range(n):
+        v = values[lo + p]
+        for r in range(rank):
+            out[p, r] = v * rows[p, r]
+    return out
+
+
+@njit(cache=True, nogil=True)
+def _take_rows(factor, idx, lo, hi):
+    n = hi - lo
+    rank = factor.shape[1]
+    out = np.empty((n, rank), dtype=factor.dtype)
+    for p in range(n):
+        j = idx[lo + p]
+        for r in range(rank):
+            out[p, r] = factor[j, r]
+    return out
+
+
+@njit(cache=True, nogil=True)
+def _repeat_rows(rows, counts):
+    total = 0
+    for i in range(counts.shape[0]):
+        total += counts[i]
+    rank = rows.shape[1]
+    out = np.empty((total, rank), dtype=rows.dtype)
+    p = 0
+    for i in range(counts.shape[0]):
+        for _ in range(counts[i]):
+            for r in range(rank):
+                out[p, r] = rows[i, r]
+            p += 1
+    return out
+
+
+@njit(cache=True, nogil=True)
+def _permute_rows(rows, order):
+    n = order.shape[0]
+    rank = rows.shape[1]
+    out = np.empty((n, rank), dtype=rows.dtype)
+    for p in range(n):
+        src = order[p]
+        for r in range(rank):
+            out[p, r] = rows[src, r]
+    return out
+
+
+@njit(cache=True, nogil=True)
+def _add_rows_at_unique(out, targets, sums):
+    # targets are unique (one per touched output row), so element order
+    # within this loop matches NumPy's ``out[targets] += sums`` exactly.
+    for s in range(targets.shape[0]):
+        t = targets[s]
+        for r in range(sums.shape[1]):
+            out[t, r] = out[t, r] + sums[s, r]
+
+
+# ----------------------------------------------------------------------
+# ABI surface (same signatures as repro.kernels.numpy_tier)
+# ----------------------------------------------------------------------
+def segment_reduce_rows(rows: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Tier-invariant reduction (see module docstring)."""
+    return np.add.reduceat(rows, starts, axis=0)
+
+
+def segment_sum_rows(data: np.ndarray, seg: np.ndarray, n_seg: int) -> np.ndarray:
+    """Tier-invariant reduction (see module docstring)."""
+    rank = data.shape[1]
+    out = np.zeros((n_seg, rank))
+    if data.shape[0]:
+        starts = np.flatnonzero(np.diff(seg, prepend=-1))
+        sums = np.add.reduceat(data, starts, axis=0)
+        out[seg[starts]] = sums
+    return out
+
+
+def scatter_rows_add(out: np.ndarray, idx: np.ndarray, rows: np.ndarray) -> None:
+    """Duplicate-safe ``out[idx] += rows``: compiled permute, shared
+    reduceat (tier-invariant accumulation order), compiled unique-row
+    add-back."""
+    if idx.size == 0:
+        return
+    order = np.argsort(idx, kind="stable")
+    sidx = idx[order]
+    starts = np.flatnonzero(np.diff(sidx, prepend=-1))
+    sums = np.add.reduceat(_permute_rows(rows, order), starts, axis=0)
+    _add_rows_at_unique(out, np.ascontiguousarray(sidx[starts]), sums)
+
+
+def gather_multiply_rows(
+    rows: np.ndarray, factor: np.ndarray, idx: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    return _gather_multiply(rows, factor, idx, lo, hi)
+
+
+def value_gather_rows(
+    values: np.ndarray, factor: np.ndarray, idx: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    return _value_gather(values, factor, idx, lo, hi)
+
+
+def scale_rows_by_values(
+    values: np.ndarray, rows: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    return _scale_rows(values, np.ascontiguousarray(rows), lo, hi)
+
+
+def take_factor_rows(
+    factor: np.ndarray, idx: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    return _take_rows(factor, idx, lo, hi)
+
+
+def repeat_rows(rows: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    return _repeat_rows(np.ascontiguousarray(rows), np.ascontiguousarray(counts))

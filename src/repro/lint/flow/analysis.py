@@ -47,6 +47,7 @@ class FlowAnalysis:
         self._facts: Dict[str, FunctionFacts] = {}
         self._transitive: Optional[Dict[str, Set[str]]] = None
         self._ext_covered: Optional[Set[str]] = None
+        self._ported: Optional[Set[str]] = None
 
     # ------------------------------------------------------------------
     def facts(self, qname: str) -> FunctionFacts:
@@ -160,15 +161,52 @@ class FlowAnalysis:
     # ------------------------------------------------------------------
     # JIT worklist
     # ------------------------------------------------------------------
+    def ported_kernels(self) -> Set[str]:
+        """Functions already routed through the flat-array kernel ABI:
+        they call — directly or transitively — a function defined under
+        ``repro/kernels/``.  Their inner loops live behind the dispatch
+        layer (NumPy reference tier or Numba tier), so the Python that
+        remains in their bodies is deliberately interpreted wrapper code
+        (traffic charges, window bookkeeping, shm plumbing) and leaves
+        the JIT worklist.  Least fixpoint over the call graph, like
+        :meth:`transitive_categories`."""
+        if self._ported is not None:
+            return self._ported
+        ported = {
+            q
+            for q, info in self.graph.functions.items()
+            if info.module.startswith("repro.kernels")
+        }
+        changed = True
+        while changed:
+            changed = False
+            for q in self.graph.functions:
+                if q in ported:
+                    continue
+                if any(c in ported for c in self.graph.callees.get(q, ())):
+                    ported.add(q)
+                    changed = True
+        self._ported = ported
+        return ported
+
     def jit_candidates(self) -> List[FunctionInfo]:
-        """Kernel-module functions eligible for nopython compilation:
-        module-level (Numba does not JIT bound methods or closures) and
-        loop- or access-bearing (the inner loops worth compiling)."""
+        """Kernel-module functions still needing a nopython port:
+        module-level (Numba does not JIT bound methods or closures),
+        loop- or access-bearing (the inner loops worth compiling), not
+        yet routed through the kernel ABI (:meth:`ported_kernels`), and
+        not charge-only accounting helpers (they touch the
+        TrafficCounter, never tensor data — there is nothing to
+        compile)."""
+        ported = self.ported_kernels()
         out: List[FunctionInfo] = []
         for info in self.kernel_functions():
             if info.cls is not None or info.parent is not None:
                 continue
+            if info.qname in ported:
+                continue
             facts = self.facts(info.qname)
+            if facts.charge_nodes and not facts.accesses:
+                continue
             has_loop = any(
                 isinstance(n, (ast.For, ast.While))
                 for n in ast.walk(info.node)

@@ -10,6 +10,11 @@ candidates — and emits **one finding per blocker site**, so the baseline
 file doubles as the compiled-kernel PR's exact worklist: a function with
 zero findings is nopython-ready as it stands.
 
+Kernels already **ported to the flat-array kernel ABI** (they route
+their inner loops through :mod:`repro.kernels`, whose Numba tier is the
+compiled path) leave the worklist, as do charge-only accounting helpers
+— see :meth:`~repro.lint.flow.analysis.FlowAnalysis.jit_candidates`.
+
 Blockers flagged (each message names the construct and the nopython
 limitation): ``try``/``except``, ``with``, generators, nested
 functions/lambdas (closures), dict/set literals and comprehensions,

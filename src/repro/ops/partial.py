@@ -25,19 +25,23 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from ..kernels.dispatch import (
+    TIER_NUMPY,
+    gather_multiply_rows,
+    scatter_rows_add,
+    segment_sum_rows,
+    value_gather_rows,
+)
 from ..tensor.coo import CooTensor
 from .krp import krp_rows
 
 
-def _scatter_rows(out: np.ndarray, idx: np.ndarray, rows: np.ndarray) -> None:
-    """Duplicate-safe ``out[idx] += rows`` via sort + segmented reduce
-    (same strategy as :func:`repro.core.csf_kernels.scatter_add_rows`)."""
-    if idx.size == 0:
-        return
-    order = np.argsort(idx, kind="stable")
-    sidx = idx[order]
-    starts = np.flatnonzero(np.diff(sidx, prepend=-1))
-    out[sidx[starts]] += np.add.reduceat(rows[order], starts, axis=0)
+def _scatter_rows(
+    out: np.ndarray, idx: np.ndarray, rows: np.ndarray, tier: str = TIER_NUMPY
+) -> None:
+    """Duplicate-safe ``out[idx] += rows`` — delegated to the kernel ABI
+    (same routine :func:`repro.core.csf_kernels.scatter_add_rows` uses)."""
+    scatter_rows_add(out, idx, rows, tier=tier)
 
 __all__ = [
     "PartialTensor",
@@ -64,16 +68,12 @@ def _group_rows(indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     return indices[:, first], seg
 
 
-def _segment_sum(data: np.ndarray, seg: np.ndarray, n_seg: int) -> np.ndarray:
-    """Sum rows of ``data`` into ``n_seg`` buckets given sorted segment ids."""
-    rank = data.shape[1]
-    out = np.zeros((n_seg, rank))
-    # seg is sorted, so reduceat on segment starts is both exact and fast.
-    if data.shape[0]:
-        starts = np.flatnonzero(np.diff(seg, prepend=-1))
-        sums = np.add.reduceat(data, starts, axis=0)
-        out[seg[starts]] = sums
-    return out
+def _segment_sum(
+    data: np.ndarray, seg: np.ndarray, n_seg: int, tier: str = TIER_NUMPY
+) -> np.ndarray:
+    """Sum rows of ``data`` into ``n_seg`` buckets given sorted segment ids
+    — delegated to the kernel ABI."""
+    return segment_sum_rows(data, seg, n_seg, tier=tier)
 
 
 @dataclass(frozen=True)
@@ -125,6 +125,7 @@ def ttm_last_mode(
     tensor: CooTensor,
     factor: np.ndarray,
     mode_order: Sequence[int],
+    tier: str = TIER_NUMPY,
 ) -> PartialTensor:
     """TTM contracting the *last* mode of ``mode_order`` with ``factor``.
 
@@ -139,10 +140,15 @@ def ttm_last_mode(
     prefix_modes = mode_order[:-1]
     prefix = sorted_t.indices[prefix_modes]
     uniq, seg = _group_rows(prefix)
-    contrib = sorted_t.values[:, None] * np.asarray(factor)[
-        sorted_t.indices[mode_order[-1]]
-    ]
-    data = _segment_sum(contrib, seg, uniq.shape[1])
+    contrib = value_gather_rows(
+        sorted_t.values,
+        np.asarray(factor),
+        sorted_t.indices[mode_order[-1]],
+        0,
+        sorted_t.values.shape[0],
+        tier=tier,
+    )
+    data = _segment_sum(contrib, seg, uniq.shape[1], tier=tier)
     return PartialTensor(
         modes=tuple(prefix_modes),
         indices=uniq,
@@ -151,17 +157,21 @@ def ttm_last_mode(
     )
 
 
-def mttv(partial: PartialTensor, factor: np.ndarray) -> PartialTensor:
+def mttv(
+    partial: PartialTensor, factor: np.ndarray, tier: str = TIER_NUMPY
+) -> PartialTensor:
     """mTTV: contract the last remaining index of ``partial`` with
     ``factor`` (the factor matrix of ``partial.modes[-1]``), batching over
     the rank index — ``P^(i) -> P^(i-1)`` of Section II-A."""
     if partial.indices.shape[0] < 2:
         raise ValueError("mTTV needs at least two remaining modes")
     last = partial.indices[-1]
-    contrib = partial.data * np.asarray(factor)[last]
+    contrib = gather_multiply_rows(
+        partial.data, np.asarray(factor), last, 0, last.shape[0], tier=tier
+    )
     prefix = partial.indices[:-1]
     uniq, seg = _group_rows(prefix)
-    data = _segment_sum(contrib, seg, uniq.shape[1])
+    data = _segment_sum(contrib, seg, uniq.shape[1], tier=tier)
     return PartialTensor(
         modes=partial.modes[:-1],
         indices=uniq,
@@ -193,6 +203,7 @@ def contract_modes(
     partial: PartialTensor,
     contract: Sequence[int],
     factors: Sequence[np.ndarray],
+    tier: str = TIER_NUMPY,
 ) -> PartialTensor:
     """Contract an arbitrary subset of a PartialTensor's modes with the
     row-wise KRP of their factor matrices (the dimension-tree edge
@@ -223,7 +234,7 @@ def contract_modes(
     remaining = remaining[:, order]
     contrib = contrib[order]
     uniq, seg = _group_rows(remaining)
-    data = _segment_sum(contrib, seg, uniq.shape[1])
+    data = _segment_sum(contrib, seg, uniq.shape[1], tier=tier)
     return PartialTensor(
         modes=tuple(partial.modes[p] for p in keep),
         indices=uniq,
@@ -237,6 +248,7 @@ def reduce_to_matrix(
     target_mode: int,
     factors: Sequence[np.ndarray],
     contract: Sequence[int],
+    tier: str = TIER_NUMPY,
 ) -> np.ndarray:
     """Finish an MTTKRP: contract every mode in ``contract`` (all
     remaining modes except ``target_mode``) and scatter into the dense
@@ -249,16 +261,18 @@ def reduce_to_matrix(
     t_pos = partial.modes.index(target_mode)
     out = np.zeros((partial.shape[t_pos], partial.rank))
     if not contract:
-        _scatter_rows(out, partial.indices[t_pos], partial.data)
+        _scatter_rows(out, partial.indices[t_pos], partial.data, tier=tier)
         return out
     positions = [partial.modes.index(m) for m in contract]
     weights = krp_rows(list(factors), [partial.indices[p] for p in positions])
-    _scatter_rows(out, partial.indices[t_pos], partial.data * weights)
+    _scatter_rows(out, partial.indices[t_pos], partial.data * weights, tier=tier)
     return out
 
 
 def mttv_reduce(
-    partial: PartialTensor, factors: Sequence[np.ndarray]
+    partial: PartialTensor,
+    factors: Sequence[np.ndarray],
+    tier: str = TIER_NUMPY,
 ) -> np.ndarray:
     """MTTV: contract all *leading* indices of ``partial`` with the row-wise
     KRP of their factor matrices, producing the MTTKRP output for the last
@@ -274,5 +288,5 @@ def mttv_reduce(
         )
     k = krp_rows(list(factors), list(lead))
     out = np.zeros((partial.shape[-1], partial.rank))
-    _scatter_rows(out, partial.indices[-1], partial.data * k)
+    _scatter_rows(out, partial.indices[-1], partial.data * k, tier=tier)
     return out

@@ -18,29 +18,29 @@ def lowrank3():
 
 class TestConvergence:
     def test_fits_nondecreasing(self, lowrank3):
-        res = cp_als(lowrank3, 3, backend=SplattAll(lowrank3, 3), max_iters=10, tol=0)
+        res = cp_als(lowrank3, 3, engine=SplattAll(lowrank3, 3), max_iters=10, tol=0)
         fits = np.array(res.fits)
         assert np.all(np.diff(fits) > -1e-9)  # ALS monotone up to fp noise
 
     def test_recovers_low_rank_structure(self, lowrank3):
-        res = cp_als(lowrank3, 3, backend=SplattAll(lowrank3, 3), max_iters=25, tol=0)
+        res = cp_als(lowrank3, 3, engine=SplattAll(lowrank3, 3), max_iters=25, tol=0)
         assert res.final_fit > 0.5
 
     def test_tol_stops_early(self, lowrank3):
         res = cp_als(
-            lowrank3, 3, backend=SplattAll(lowrank3, 3), max_iters=100, tol=1e-3
+            lowrank3, 3, engine=SplattAll(lowrank3, 3), max_iters=100, tol=1e-3
         )
         assert res.converged
         assert res.iterations < 100
 
     def test_max_iters_respected(self, lowrank3):
-        res = cp_als(lowrank3, 2, backend=SplattAll(lowrank3, 2), max_iters=4, tol=0)
+        res = cp_als(lowrank3, 2, engine=SplattAll(lowrank3, 2), max_iters=4, tol=0)
         assert res.iterations == 4
         assert not res.converged
 
     def test_compute_fit_false(self, lowrank3):
         res = cp_als(
-            lowrank3, 2, backend=SplattAll(lowrank3, 2), max_iters=3,
+            lowrank3, 2, engine=SplattAll(lowrank3, 2), max_iters=3,
             compute_fit=False,
         )
         assert res.fits == []
@@ -49,7 +49,7 @@ class TestConvergence:
     def test_callback_invoked(self, lowrank3):
         seen = []
         cp_als(
-            lowrank3, 2, backend=SplattAll(lowrank3, 2), max_iters=3, tol=0,
+            lowrank3, 2, engine=SplattAll(lowrank3, 2), max_iters=3, tol=0,
             callback=lambda it, fit: seen.append((it, fit)),
         )
         assert [s[0] for s in seen] == [0, 1, 2]
@@ -63,7 +63,7 @@ class TestBackendEquivalence:
         groups = {}
         for name, cls in ALL_BACKENDS.items():
             b = cls(t, 3, num_threads=3)
-            res = cp_als(t, 3, backend=b, max_iters=4, tol=0, seed=5)
+            res = cp_als(t, 3, engine=b, max_iters=4, tol=0, seed=5)
             groups.setdefault(tuple(b.mode_order), {})[name] = res.fits
         assert len(groups) >= 2  # both update orders exercised
         for order, fits in groups.items():
@@ -75,7 +75,7 @@ class TestBackendEquivalence:
         finals = {}
         for name, cls in ALL_BACKENDS.items():
             b = cls(lowrank3, 3, num_threads=2)
-            res = cp_als(lowrank3, 3, backend=b, max_iters=10, tol=0, seed=1)
+            res = cp_als(lowrank3, 3, engine=b, max_iters=10, tol=0, seed=1)
             finals[name] = res.final_fit
         vals = list(finals.values())
         assert max(vals) - min(vals) < 0.15, finals

@@ -19,7 +19,7 @@ class TestCheckpoint:
     def test_checkpoint_written(self, workload, tmp_path):
         path = str(tmp_path / "ck.npz")
         cp_als(
-            workload, 2, backend=SplattAll(workload, 2), max_iters=4, tol=0,
+            workload, 2, engine=SplattAll(workload, 2), max_iters=4, tol=0,
             checkpoint_path=path, checkpoint_every=2,
         )
         assert os.path.exists(path)
@@ -32,15 +32,15 @@ class TestCheckpoint:
         factors (the checkpoint captures the full ALS state)."""
         path = str(tmp_path / "ck.npz")
         straight = cp_als(
-            workload, 2, backend=SplattAll(workload, 2), max_iters=6, tol=0,
+            workload, 2, engine=SplattAll(workload, 2), max_iters=6, tol=0,
             seed=3,
         )
         cp_als(
-            workload, 2, backend=SplattAll(workload, 2), max_iters=3, tol=0,
+            workload, 2, engine=SplattAll(workload, 2), max_iters=3, tol=0,
             seed=3, checkpoint_path=path, checkpoint_every=3,
         )
         resumed = cp_als(
-            workload, 2, backend=SplattAll(workload, 2), max_iters=6, tol=0,
+            workload, 2, engine=SplattAll(workload, 2), max_iters=6, tol=0,
             seed=999,  # ignored: factors come from the checkpoint
             checkpoint_path=path, resume=True,
         )
@@ -51,12 +51,12 @@ class TestCheckpoint:
 
     def test_resume_without_path_raises(self, workload):
         with pytest.raises(ValueError, match="checkpoint_path"):
-            cp_als(workload, 2, backend=SplattAll(workload, 2), resume=True)
+            cp_als(workload, 2, engine=SplattAll(workload, 2), resume=True)
 
     def test_resume_missing_file_starts_fresh(self, workload, tmp_path):
         path = str(tmp_path / "absent.npz")
         res = cp_als(
-            workload, 2, backend=SplattAll(workload, 2), max_iters=2, tol=0,
+            workload, 2, engine=SplattAll(workload, 2), max_iters=2, tol=0,
             checkpoint_path=path, resume=True,
         )
         assert res.iterations == 2
@@ -64,23 +64,23 @@ class TestCheckpoint:
     def test_resume_mismatched_rank_raises(self, workload, tmp_path):
         path = str(tmp_path / "ck.npz")
         cp_als(
-            workload, 2, backend=SplattAll(workload, 2), max_iters=2, tol=0,
+            workload, 2, engine=SplattAll(workload, 2), max_iters=2, tol=0,
             checkpoint_path=path,
         )
         with pytest.raises(ValueError, match="does not match"):
             cp_als(
-                workload, 5, backend=SplattAll(workload, 5), max_iters=2,
+                workload, 5, engine=SplattAll(workload, 5), max_iters=2,
                 tol=0, checkpoint_path=path, resume=True,
             )
 
     def test_resume_past_max_iters_is_noop(self, workload, tmp_path):
         path = str(tmp_path / "ck.npz")
         finished = cp_als(
-            workload, 2, backend=SplattAll(workload, 2), max_iters=4, tol=0,
+            workload, 2, engine=SplattAll(workload, 2), max_iters=4, tol=0,
             checkpoint_path=path,
         )
         res = cp_als(
-            workload, 2, backend=SplattAll(workload, 2), max_iters=3, tol=0,
+            workload, 2, engine=SplattAll(workload, 2), max_iters=3, tol=0,
             checkpoint_path=path, resume=True,
         )
         assert res.iterations == 4  # the checkpointed count, nothing new
@@ -101,15 +101,15 @@ class TestCheckpointRoundTrip:
         of the resumed state, not recomputed from ones."""
         path = str(tmp_path / "ck.npz")
         straight = cp_als(
-            workload, 2, backend=SplattAll(workload, 2), max_iters=6, tol=0,
+            workload, 2, engine=SplattAll(workload, 2), max_iters=6, tol=0,
             seed=3,
         )
         cp_als(
-            workload, 2, backend=SplattAll(workload, 2), max_iters=3, tol=0,
+            workload, 2, engine=SplattAll(workload, 2), max_iters=3, tol=0,
             seed=3, checkpoint_path=path, checkpoint_every=3,
         )
         resumed = cp_als(
-            workload, 2, backend=SplattAll(workload, 2), max_iters=6, tol=0,
+            workload, 2, engine=SplattAll(workload, 2), max_iters=6, tol=0,
             checkpoint_path=path, resume=True,
         )
         assert np.allclose(
@@ -123,14 +123,14 @@ class TestCheckpointRoundTrip:
         (the old post-loop write clobbered weights with λ = ones)."""
         path = str(tmp_path / "ck.npz")
         cp_als(
-            workload, 2, backend=SplattAll(workload, 2), max_iters=4, tol=0,
+            workload, 2, engine=SplattAll(workload, 2), max_iters=4, tol=0,
             checkpoint_path=path,
         )
         before = os.stat(path).st_mtime_ns
         with np.load(path) as data:
             weights_before = data["weights"].copy()
         cp_als(
-            workload, 2, backend=SplattAll(workload, 2), max_iters=4, tol=0,
+            workload, 2, engine=SplattAll(workload, 2), max_iters=4, tol=0,
             checkpoint_path=path, resume=True,
         )
         assert os.stat(path).st_mtime_ns == before
@@ -147,7 +147,7 @@ class TestCheckpointRoundTrip:
         counts = []
         for cap in (2, 4, 6):
             res = cp_als(
-                workload, 2, backend=SplattAll(workload, 2), max_iters=cap,
+                workload, 2, engine=SplattAll(workload, 2), max_iters=cap,
                 tol=0, checkpoint_path=path, checkpoint_every=100,
                 resume=os.path.exists(path),
             )

@@ -26,17 +26,17 @@ def lowrank():
 class TestRidge:
     def test_ridge_runs_and_converges(self, lowrank):
         res = cp_als(
-            lowrank, 3, backend=SplattAll(lowrank, 3), max_iters=8, tol=0,
+            lowrank, 3, engine=SplattAll(lowrank, 3), max_iters=8, tol=0,
             ridge=1e-3,
         )
         assert np.all(np.diff(res.fits) > -1e-6)
 
     def test_large_ridge_shrinks_solution(self, lowrank):
         free = cp_als(
-            lowrank, 3, backend=SplattAll(lowrank, 3), max_iters=5, tol=0
+            lowrank, 3, engine=SplattAll(lowrank, 3), max_iters=5, tol=0
         )
         damped = cp_als(
-            lowrank, 3, backend=SplattAll(lowrank, 3), max_iters=5, tol=0,
+            lowrank, 3, engine=SplattAll(lowrank, 3), max_iters=5, tol=0,
             ridge=100.0,
         )
         assert damped.model.norm() < free.model.norm()
@@ -46,7 +46,7 @@ class TestRidge:
         keeps the iteration finite."""
         t = low_rank_tensor((8, 7, 6), rank=1, nnz=300, noise=0.0, seed=4)
         res = cp_als(
-            t, 8, backend=SplattAll(t, 8), max_iters=6, tol=0, ridge=1e-6
+            t, 8, engine=SplattAll(t, 8), max_iters=6, tol=0, ridge=1e-6
         )
         assert np.all(np.isfinite(res.model.weights))
         for f in res.model.factors:
@@ -56,7 +56,7 @@ class TestRidge:
 class TestNonneg:
     def test_factors_nonnegative(self, counts3):
         res = cp_als(
-            counts3, 4, backend=SplattAll(counts3, 4), max_iters=6, tol=0,
+            counts3, 4, engine=SplattAll(counts3, 4), max_iters=6, tol=0,
             nonneg=True,
         )
         for f in res.model.factors:
@@ -65,14 +65,14 @@ class TestNonneg:
 
     def test_nonneg_fits_count_data(self, counts3):
         res = cp_als(
-            counts3, 4, backend=SplattAll(counts3, 4), max_iters=12, tol=0,
+            counts3, 4, engine=SplattAll(counts3, 4), max_iters=12, tol=0,
             nonneg=True,
         )
         assert res.fits[-1] > 0.0  # better than the zero model
 
     def test_unconstrained_can_go_negative(self, lowrank):
         res = cp_als(
-            lowrank, 3, backend=SplattAll(lowrank, 3), max_iters=5, tol=0
+            lowrank, 3, engine=SplattAll(lowrank, 3), max_iters=5, tol=0
         )
         assert any(np.any(f < 0) for f in res.model.factors)
 

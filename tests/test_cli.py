@@ -36,13 +36,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_backend_choices(self):
+    def test_engine_choices(self):
+        args = build_parser().parse_args(
+            ["decompose", "uber", "--engine", "stef2"]
+        )
+        assert args.engine == "stef2"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["decompose", "uber", "--engine", "x"])
+
+    def test_backend_is_engine_alias(self):
         args = build_parser().parse_args(
             ["decompose", "uber", "--backend", "stef2"]
         )
-        assert args.backend == "stef2"
+        assert args.engine == "stef2"
+
+    def test_engine_help_renders_capabilities(self, capsys):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["decompose", "uber", "--backend", "x"])
+            build_parser().parse_args(["decompose", "--help"])
+        text = capsys.readouterr().out.replace("\n", " ")
+        assert "jit=auto" in text and "memoize" in text
+
+    def test_jit_flag(self):
+        args = build_parser().parse_args(
+            ["decompose", "uber", "--jit", "off"]
+        )
+        assert args.jit == "off"
 
 
 class TestCommands:
@@ -70,15 +88,15 @@ class TestCommands:
         assert code == 0
         assert "final fit" in text
 
-    def test_decompose_every_backend(self):
+    def test_decompose_every_engine(self):
         from repro.baselines import ALL_BACKENDS
 
-        for backend in ALL_BACKENDS:
+        for engine in ALL_BACKENDS:
             code, text = self._run(
                 ["decompose", "uber", "--nnz", "400", "--rank", "3",
-                 "--iters", "1", "--backend", backend, "--threads", "2"]
+                 "--iters", "1", "--engine", engine, "--threads", "2"]
             )
-            assert code == 0, backend
+            assert code == 0, engine
 
     def test_compare(self):
         code, text = self._run(

@@ -69,7 +69,7 @@ class TestFactorMatchScore:
             return_factors=True,
         )
         planted = KruskalTensor(np.ones(3), factors)
-        res = cp_als(t, 3, backend=SplattAll(t, 3), max_iters=60, tol=1e-9)
+        res = cp_als(t, 3, engine=SplattAll(t, 3), max_iters=60, tol=1e-9)
         assert factor_match_score(planted, res.model) > 0.85
 
 
@@ -99,10 +99,10 @@ class TestCorcondia:
         true = planted_model((10, 9, 8), 2, seed=11)
         tensor = CooTensor.from_dense(true.to_dense())
         good = cp_als(
-            tensor, 2, backend=SplattAll(tensor, 2), max_iters=40, init="hosvd"
+            tensor, 2, engine=SplattAll(tensor, 2), max_iters=40, init="hosvd"
         )
         over = cp_als(
-            tensor, 5, backend=SplattAll(tensor, 5), max_iters=40, init="hosvd"
+            tensor, 5, engine=SplattAll(tensor, 5), max_iters=40, init="hosvd"
         )
         cc_good = corcondia(tensor, good.model)
         cc_over = corcondia(tensor, over.model)
@@ -116,7 +116,7 @@ class TestCorcondia:
         true = planted_model((10, 9, 8), 2, seed=11)
         tensor = CooTensor.from_dense(true.to_dense())
         bad = cp_als(
-            tensor, 2, backend=SplattAll(tensor, 2), max_iters=30,
+            tensor, 2, engine=SplattAll(tensor, 2), max_iters=30,
             init="random", seed=2,
         )
         if bad.final_fit < 0.9:  # the degenerate basin

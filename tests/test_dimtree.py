@@ -49,9 +49,9 @@ class TestCorrectness:
     def test_als_matches_splatt_all(self, coo4):
         """Identical update order -> identical trajectory; the cached
         nodes must invalidate correctly as factors change."""
-        r1 = cp_als(coo4, 3, backend=DimTreeBackend(coo4, 3), max_iters=5,
+        r1 = cp_als(coo4, 3, engine=DimTreeBackend(coo4, 3), max_iters=5,
                     tol=0, seed=7)
-        r2 = cp_als(coo4, 3, backend=SplattAll(coo4, 3), max_iters=5,
+        r2 = cp_als(coo4, 3, engine=SplattAll(coo4, 3), max_iters=5,
                     tol=0, seed=7)
         assert np.allclose(r1.fits, r2.fits, atol=1e-8)
 

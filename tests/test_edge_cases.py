@@ -63,15 +63,15 @@ class TestTwoDimensional:
         from repro.cpd import cp_als
 
         t = random_tensor((10, 8), nnz=60, seed=8)
-        res = cp_als(t, 2, backend=Stef(t, 2), max_iters=4, tol=0)
+        res = cp_als(t, 2, engine=Stef(t, 2), max_iters=4, tol=0)
         assert len(res.fits) == 4
 
 
 class TestThreadsBackendFacades:
     def test_stef_threads_backend(self, coo4, factors4):
         dense = coo4.to_dense()
-        serial = Stef(coo4, 4, num_threads=3, backend="serial")
-        threaded = Stef(coo4, 4, num_threads=3, backend="threads")
+        serial = Stef(coo4, 4, num_threads=3, exec_backend="serial")
+        threaded = Stef(coo4, 4, num_threads=3, exec_backend="threads")
         rs = serial.iteration_results(factors4)
         rt = threaded.iteration_results(factors4)
         for (m1, a), (m2, b) in zip(rs, rt):
@@ -80,7 +80,7 @@ class TestThreadsBackendFacades:
             assert np.allclose(a, mttkrp_dense(dense, factors4, m1))
 
     def test_stef2_threads_backend(self, coo4, factors4):
-        s = Stef2(coo4, 4, num_threads=3, backend="threads")
+        s = Stef2(coo4, 4, num_threads=3, exec_backend="threads")
         dense = coo4.to_dense()
         s.mttkrp_level(factors4, 0)
         for lvl in range(coo4.ndim):

@@ -71,5 +71,5 @@ class TestEmptyThroughStack:
     def test_als_on_empty(self, empty4):
         from repro.cpd import cp_als
 
-        res = cp_als(empty4, 2, backend=Stef(empty4, 2), max_iters=2, tol=0)
+        res = cp_als(empty4, 2, engine=Stef(empty4, 2), max_iters=2, tol=0)
         assert res.fits == [1.0, 1.0]  # zero tensor: fit defined as 1

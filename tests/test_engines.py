@@ -14,7 +14,6 @@ Three contracts:
 """
 
 import glob
-import warnings
 
 import numpy as np
 import pytest
@@ -137,55 +136,88 @@ class TestContextManager:
         assert eng.engine._proc is None
 
 
-class TestKwargNormalization:
-    def test_backend_alias_warns_and_works(self, tensor3, factors3):
-        from repro import compat
+class TestRetiredKwargs:
+    """The pre-1.0 spellings finished their deprecation cycle: they now
+    raise ``TypeError`` with a migration hint naming the canonical
+    keyword."""
 
-        # Warn-once state may have been consumed by earlier tests.
-        compat._WARNED.discard(("Splatt1", "backend"))
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            with create_engine(
+    def test_backend_spelling_rejected_with_hint(self, tensor3):
+        with pytest.raises(TypeError, match="exec_backend"):
+            create_engine(
                 "splatt-1", tensor3, 4, num_threads=2, backend="serial"
-            ) as eng:
-                eng.mttkrp_level(factors3, 0)
-        assert any(
-            issubclass(w.category, DeprecationWarning)
-            and "exec_backend" in str(w.message)
-            for w in caught
-        )
+            )
 
-    def test_threads_alias_resolves(self, tensor3):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            with create_engine("stef", tensor3, 4, threads=3) as eng:
-                assert eng.num_threads == 3
+    def test_threads_spelling_rejected_with_hint(self, tensor3):
+        with pytest.raises(TypeError, match="num_threads"):
+            create_engine("stef", tensor3, 4, threads=3)
 
-    def test_both_spellings_rejected(self, tensor3):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            with pytest.raises(TypeError, match="both"):
-                create_engine(
-                    "stef", tensor3, 4,
-                    exec_backend="serial", backend="serial",
-                )
+    def test_direct_constructor_rejects_backend(self, tensor3):
+        from repro.core.stef import Stef
+
+        with pytest.raises(TypeError, match="no longer accepts 'backend'"):
+            Stef(tensor3, 4, backend="serial")
+
+    def test_cp_als_rejects_backend(self, tensor3):
+        from repro.baselines import SplattAll
+        from repro.cpd.als import cp_als
+
+        with pytest.raises(TypeError, match="engine"):
+            cp_als(tensor3, 4, backend=SplattAll(tensor3, 4), max_iters=1)
 
     def test_unknown_kwarg_still_fails_loudly(self, tensor3):
         with pytest.raises(TypeError, match="unexpected keyword"):
             create_engine("stef", tensor3, 4, exec_backed="serial")
 
-    def test_warn_once_per_owner(self):
-        from repro import compat
+    def test_canonicalize_hint_names_replacement(self):
+        with pytest.raises(TypeError, match="pass exec_backend= instead"):
+            canonicalize_kwargs(
+                "Probe", {"backend": "serial"}, {"backend": "exec_backend"}
+            )
 
-        compat._WARNED.discard(("WarnOnceProbe", "backend"))
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            canonicalize_kwargs(
-                "WarnOnceProbe", {"backend": "serial"},
-                {"backend": "exec_backend"},
+
+class TestTypedFactory:
+    """create_engine's named knobs are validated against capability
+    metadata before construction."""
+
+    def test_engine_names_detail(self):
+        infos = engine_names(detail=True)
+        assert [i.name for i in infos] == engine_names()
+        by_name = {i.name: i for i in infos}
+        assert by_name["stef"].jit_capable
+        assert by_name["stef"].jit_default == "off"
+        assert by_name["stef"].memoize_capable
+        assert by_name["stef-jit"].jit_default == "auto"
+        assert not by_name["alto"].jit_capable
+        assert "summary" in dir(by_name["stef"])
+        assert "jit=auto" in by_name["stef-jit"].summary()
+
+    def test_jit_rejected_on_non_capable_engine(self, tensor3):
+        with pytest.raises(TypeError, match="does not support jit="):
+            create_engine("alto", tensor3, 4, jit="auto")
+
+    def test_bad_exec_backend_is_valueerror(self, tensor3):
+        with pytest.raises(ValueError, match="exec_backend"):
+            create_engine("stef", tensor3, 4, exec_backend="cluster")
+
+    def test_memoize_rejected_on_non_capable_engine(self, tensor3):
+        with pytest.raises(TypeError, match="does not support memoize="):
+            create_engine("taco", tensor3, 4, memoize=True)
+
+    def test_memoize_false_forces_empty_plan(self, tensor3):
+        with create_engine("stef", tensor3, 4, memoize=False) as eng:
+            assert list(eng.plan.save_levels) == []
+
+    def test_memoize_false_conflicts_with_plan(self, tensor3):
+        from repro.core.memoization import MemoPlan
+
+        with pytest.raises(TypeError, match="conflicts"):
+            create_engine(
+                "stef", tensor3, 4, memoize=False, plan=MemoPlan((1,))
             )
-            canonicalize_kwargs(
-                "WarnOnceProbe", {"backend": "serial"},
-                {"backend": "exec_backend"},
-            )
-        assert len(caught) == 1
+
+    def test_jit_off_matches_plain_engine(self, tensor3, factors3):
+        with create_engine("stef", tensor3, 4, jit="off") as eng:
+            assert eng.kernel_tier == "numpy"
+            res = eng.mttkrp_level(factors3, 0)
+        with create_engine("stef", tensor3, 4) as plain:
+            assert np.array_equal(res, plain.mttkrp_level(factors3, 0))

@@ -18,7 +18,7 @@ def test_cpd_runs_on_every_tensor(name):
     evaluation tensor: finite factors, non-decreasing fit."""
     tensor = generate(TABLE1_SPECS[name], nnz=1200, seed=0)
     backend = Stef(tensor, 8, machine=INTEL_CLX_18, num_threads=4)
-    res = cp_als(tensor, 8, backend=backend, max_iters=2, tol=0, seed=1)
+    res = cp_als(tensor, 8, engine=backend, max_iters=2, tol=0, seed=1)
     assert len(res.fits) == 2
     assert res.fits[1] >= res.fits[0] - 1e-9
     for f in res.model.factors:

@@ -52,9 +52,9 @@ class TestHosvdInit:
 
         t = low_rank_tensor((15, 12, 10), rank=3, nnz=700, noise=0.01, seed=4)
         r_rand = cp_als(
-            t, 3, backend=SplattAll(t, 3), max_iters=3, tol=0, init="random", seed=0
+            t, 3, engine=SplattAll(t, 3), max_iters=3, tol=0, init="random", seed=0
         )
         r_hosvd = cp_als(
-            t, 3, backend=SplattAll(t, 3), max_iters=3, tol=0, init="hosvd", seed=0
+            t, 3, engine=SplattAll(t, 3), max_iters=3, tol=0, init="hosvd", seed=0
         )
         assert r_hosvd.fits[0] > r_rand.fits[0] - 0.05

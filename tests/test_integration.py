@@ -26,19 +26,19 @@ class TestEndToEndCpd:
     @pytest.mark.parametrize("name", ["uber", "nips", "chicago-crime-comm"])
     def test_cpd_on_table1_generators(self, name):
         t = generate(TABLE1_SPECS[name], nnz=1500, seed=0)
-        res = cp_als(t, 8, backend=Stef(t, 8, num_threads=4), max_iters=5, tol=0)
+        res = cp_als(t, 8, engine=Stef(t, 8, num_threads=4), max_iters=5, tol=0)
         assert len(res.fits) == 5
         assert np.all(np.diff(res.fits) > -1e-6)
 
     def test_cpd_5d(self):
         t = generate(TABLE1_SPECS["vast-2015-mc1-5d"], nnz=1200, seed=0)
-        res = cp_als(t, 4, backend=Stef2(t, 4, num_threads=3), max_iters=3, tol=0)
+        res = cp_als(t, 4, engine=Stef2(t, 4, num_threads=3), max_iters=3, tol=0)
         assert len(res.fits) == 3
 
     def test_stef_and_stef2_same_trajectory(self):
         t = generate(TABLE1_SPECS["enron"], nnz=1500, seed=1)
-        r1 = cp_als(t, 4, backend=Stef(t, 4, num_threads=2), max_iters=4, tol=0, seed=3)
-        r2 = cp_als(t, 4, backend=Stef2(t, 4, num_threads=2), max_iters=4, tol=0, seed=3)
+        r1 = cp_als(t, 4, engine=Stef(t, 4, num_threads=2), max_iters=4, tol=0, seed=3)
+        r2 = cp_als(t, 4, engine=Stef2(t, 4, num_threads=2), max_iters=4, tol=0, seed=3)
         assert np.allclose(r1.fits, r2.fits, atol=1e-8)
 
 

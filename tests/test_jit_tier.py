@@ -1,0 +1,218 @@
+"""Tests for the flat-array kernel ABI and its tier dispatch.
+
+Four contracts:
+
+* **NumPy-tier reference semantics** — every ABI entry point matches the
+  obvious NumPy formula it abstracts;
+* **tier resolution** — ``resolve_tier`` maps the engines' ``jit=``
+  keyword per the documented table, and ``REPRO_NO_JIT=1`` disables the
+  compiled tier globally (re-read on every call);
+* **forced fallback** — with ``REPRO_NO_JIT=1`` the ``*-jit`` engines
+  are the plain engines: bit-identical outputs and exactly equal
+  traffic, with ``kernel_tier == "numpy"``;
+* **tier equivalence** (requires Numba) — the compiled tier is
+  bit-identical and traffic-equal to the NumPy tier across seeds, exec
+  backends and every jit-capable engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engines import create_engine
+from repro.kernels import dispatch
+from repro.parallel.counters import TrafficCounter
+from repro.tensor import random_tensor
+from tests.conftest import make_factors
+
+#: (compiled-tier name, reference name) for every jit-capable engine.
+ENGINE_PAIRS = [
+    ("stef-jit", "stef"),
+    ("stef2-jit", "stef2"),
+    ("taco-jit", "taco"),
+    ("dimtree-jit", "dimtree"),
+]
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestNumpyTierAbi:
+    """Each ABI entry point against the NumPy formula it abstracts."""
+
+    def test_segment_reduce_rows(self, rng):
+        rows = rng.standard_normal((12, 4))
+        starts = np.array([0, 3, 3, 7, 10])
+        got = dispatch.segment_reduce_rows(rows, starts)
+        assert np.array_equal(got, np.add.reduceat(rows, starts, axis=0))
+
+    def test_segment_sum_rows(self, rng):
+        data = rng.standard_normal((10, 3))
+        seg = np.array([0, 0, 2, 2, 2, 3, 5, 5, 5, 5])
+        got = dispatch.segment_sum_rows(data, seg, 6)
+        want = np.zeros((6, 3))
+        np.add.at(want, seg, data)
+        assert got.shape == want.shape
+        assert np.allclose(got, want)
+
+    def test_scatter_rows_add(self, rng):
+        rows = rng.standard_normal((9, 4))
+        idx = np.array([4, 0, 4, 2, 0, 4, 1, 1, 3])
+        got = np.zeros((5, 4))
+        dispatch.scatter_rows_add(got, idx, rows)
+        want = np.zeros((5, 4))
+        np.add.at(want, idx, rows)
+        assert np.allclose(got, want)
+
+    def test_gather_multiply_rows(self, rng):
+        rows = rng.standard_normal((4, 3))
+        factor = rng.standard_normal((6, 3))
+        idx = np.array([5, 0, 3, 3, 1, 2])
+        got = dispatch.gather_multiply_rows(rows, factor, idx, 1, 5)
+        assert np.array_equal(got, rows * factor[idx[1:5]])
+
+    def test_value_gather_rows(self, rng):
+        values = rng.standard_normal(6)
+        factor = rng.standard_normal((4, 3))
+        idx = np.array([3, 1, 0, 2, 1, 3])
+        got = dispatch.value_gather_rows(values, factor, idx, 0, 6)
+        assert np.array_equal(got, values[:, None] * factor[idx])
+
+    def test_scale_rows_by_values(self, rng):
+        values = rng.standard_normal(8)
+        rows = rng.standard_normal((5, 2))
+        got = dispatch.scale_rows_by_values(values, rows, 2, 7)
+        assert np.array_equal(got, values[2:7, None] * rows)
+
+    def test_take_factor_rows(self, rng):
+        factor = rng.standard_normal((7, 2))
+        idx = np.array([6, 2, 2, 0, 5])
+        got = dispatch.take_factor_rows(factor, idx, 1, 4)
+        assert np.array_equal(got, factor[idx[1:4]])
+
+    def test_repeat_rows(self, rng):
+        rows = rng.standard_normal((4, 3))
+        counts = np.array([2, 0, 3, 1])
+        got = dispatch.repeat_rows(rows, counts)
+        assert np.array_equal(got, np.repeat(rows, counts, axis=0))
+
+    def test_parent_of(self):
+        ptr = np.array([0, 3, 3, 7, 10])
+        # node i owns children [ptr[i], ptr[i+1]); empty node 1 is skipped
+        assert dispatch.parent_of(ptr, 0) == 0
+        assert dispatch.parent_of(ptr, 2) == 0
+        assert dispatch.parent_of(ptr, 3) == 2
+        assert dispatch.parent_of(ptr, 9) == 3
+
+
+class TestResolveTier:
+    def test_off_is_numpy(self):
+        assert dispatch.resolve_tier("off") == dispatch.TIER_NUMPY
+
+    def test_invalid_spelling(self):
+        with pytest.raises(ValueError, match="jit must be one of"):
+            dispatch.resolve_tier("sometimes")
+
+    def test_no_jit_env_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_JIT", "1")
+        assert not dispatch.jit_available()
+        assert dispatch.resolve_tier("auto") == dispatch.TIER_NUMPY
+        with pytest.raises(RuntimeError, match="unavailable"):
+            dispatch.resolve_tier("on")
+
+    def test_env_reread_every_call(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_JIT", "1")
+        assert not dispatch.jit_available()
+        monkeypatch.setenv("REPRO_NO_JIT", "0")
+        # back to the import probe's verdict, whichever it is
+        assert dispatch.jit_available() == dispatch._numba_importable()
+
+    def test_auto_without_numba_falls_back(self, monkeypatch):
+        monkeypatch.setattr(dispatch, "_NUMBA_IMPORTABLE", False)
+        assert dispatch.resolve_tier("auto") == dispatch.TIER_NUMPY
+        with pytest.raises(RuntimeError):
+            dispatch.resolve_tier("on")
+
+
+def _iteration(name, tensor, factors, *, exec_backend="serial", jit=None):
+    counter = TrafficCounter()
+    kwargs = {} if jit is None else {"jit": jit}
+    with create_engine(
+        name, tensor, 4, num_threads=2, exec_backend=exec_backend,
+        counter=counter, **kwargs,
+    ) as eng:
+        results = eng.iteration_results(factors)
+        tier = eng.kernel_tier
+    return results, counter, tier
+
+
+def _assert_equivalent(a, b):
+    (res_a, cnt_a, _), (res_b, cnt_b, _) = a, b
+    assert len(res_a) == len(res_b)
+    for (mode_a, out_a), (mode_b, out_b) in zip(res_a, res_b):
+        assert mode_a == mode_b
+        assert np.array_equal(out_a, out_b)  # bit-identical
+    assert cnt_a.snapshot() == cnt_b.snapshot()  # exactly equal traffic
+
+
+class TestForcedFallback:
+    """``REPRO_NO_JIT=1``: the ``*-jit`` engines ARE the plain engines."""
+
+    @pytest.mark.parametrize("jit_name,base_name", ENGINE_PAIRS)
+    def test_jit_engine_equals_plain(self, jit_name, base_name, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_JIT", "1")
+        tensor = random_tensor((10, 8, 6), nnz=180, seed=5)
+        factors = make_factors(tensor.shape, rank=4, seed=6)
+        jit_run = _iteration(jit_name, tensor, factors)
+        base_run = _iteration(base_name, tensor, factors)
+        assert jit_run[2] == dispatch.TIER_NUMPY
+        _assert_equivalent(jit_run, base_run)
+
+    def test_jit_on_raises_without_compiled_tier(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_JIT", "1")
+        tensor = random_tensor((6, 5, 4), nnz=40, seed=0)
+        with pytest.raises(RuntimeError, match="unavailable"):
+            create_engine("stef-jit", tensor, 4, jit="on")
+
+
+class TestCompiledTier:
+    """Tier contract under Numba: bit-identical outputs, exactly equal
+    traffic, for every jit-capable engine on every exec backend."""
+
+    @pytest.mark.parametrize("jit_name,base_name", ENGINE_PAIRS)
+    @pytest.mark.parametrize("exec_backend", ["serial", "threads", "processes"])
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_bit_identical_and_traffic_equal(
+        self, jit_name, base_name, exec_backend, seed, monkeypatch
+    ):
+        pytest.importorskip("numba")
+        monkeypatch.delenv("REPRO_NO_JIT", raising=False)
+        tensor = random_tensor((11, 9, 7), nnz=220, seed=seed)
+        factors = make_factors(tensor.shape, rank=4, seed=seed + 1)
+        jit_run = _iteration(
+            jit_name, tensor, factors, exec_backend=exec_backend, jit="on"
+        )
+        base_run = _iteration(
+            base_name, tensor, factors, exec_backend=exec_backend, jit="off"
+        )
+        assert jit_run[2] == dispatch.TIER_NUMBA
+        assert base_run[2] == dispatch.TIER_NUMPY
+        _assert_equivalent(jit_run, base_run)
+
+    def test_4d_serial(self):
+        pytest.importorskip("numba")
+        tensor = random_tensor((7, 6, 5, 4), nnz=150, seed=9)
+        factors = make_factors(tensor.shape, rank=3, seed=10)
+        for jit_name, base_name in (("stef-jit", "stef"), ("stef2-jit", "stef2")):
+            counter_j, counter_n = TrafficCounter(), TrafficCounter()
+            with create_engine(
+                jit_name, tensor, 3, jit="on", counter=counter_j
+            ) as ej, create_engine(
+                base_name, tensor, 3, jit="off", counter=counter_n
+            ) as en:
+                for (ma, ra), (mb, rb) in zip(
+                    ej.iteration_results(factors), en.iteration_results(factors)
+                ):
+                    assert ma == mb and np.array_equal(ra, rb)
+            assert counter_j.snapshot() == counter_n.snapshot()

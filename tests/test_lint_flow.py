@@ -333,6 +333,48 @@ class TestAcceptanceInjections:
         assert "scratch_jit" in message and "not nopython-ready" in message
 
 
+class TestJitWorklist:
+    """jit_candidates refinements: kernels routed through the flat-array
+    kernel ABI and charge-only accounting helpers leave the worklist."""
+
+    DISPATCH = str(REPO / "src" / "repro" / "kernels" / "dispatch.py")
+
+    def test_ported_kernel_leaves_worklist(self, tmp_path):
+        mod = kernel_file(
+            tmp_path,
+            """\
+            from repro.kernels.dispatch import segment_reduce_rows
+
+            def scratch_ported(rows, seg):
+                for _ in range(2):
+                    opts = {"tier": "numpy"}
+                return segment_reduce_rows(rows, seg)
+            """,
+        )
+        # With the ABI module in the file set the call resolves, the
+        # kernel counts as ported, and its dict blocker is moot.
+        report = run_lint(
+            [str(mod), self.DISPATCH], select=["flow.jit-readiness"]
+        )
+        assert not [f for f in report.findings if "scratch_ported" in f.message]
+        # Without it, the call cannot resolve and the blocker resurfaces.
+        report = run_lint([str(mod)], select=["flow.jit-readiness"])
+        assert [f for f in report.findings if "scratch_ported" in f.message]
+
+    def test_charge_only_helper_leaves_worklist(self, tmp_path):
+        mod = kernel_file(
+            tmp_path,
+            """\
+            def scratch_charges(counter, chunks, rank):
+                for n in chunks:
+                    counter.read(n, "values")
+                    counter.flop(2.0 * n * rank, "recompute")
+            """,
+        )
+        report = run_lint([str(mod)], select=["flow.jit-readiness"])
+        assert report.findings == []
+
+
 class TestTypestate:
     def test_use_after_close_is_caught(self, tmp_path):
         mod = kernel_file(

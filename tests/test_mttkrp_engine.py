@@ -43,7 +43,7 @@ class TestCorrectness:
         csf, factors, dense = setup4
         serial = MemoizedMttkrp(csf, 4, plan=MemoPlan((1, 2)), num_threads=4)
         threaded = MemoizedMttkrp(
-            csf, 4, plan=MemoPlan((1, 2)), num_threads=4, backend="threads"
+            csf, 4, plan=MemoPlan((1, 2)), num_threads=4, exec_backend="threads"
         )
         rs = serial.iteration_results(factors)
         rt = threaded.iteration_results(factors)

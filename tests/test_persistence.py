@@ -26,7 +26,7 @@ class TestKruskalPersistence:
 
     def test_loaded_model_scores_identically(self, tmp_path):
         t = low_rank_tensor((8, 7, 6), rank=2, nnz=200, noise=0.1, seed=2)
-        res = cp_als(t, 2, backend=SplattAll(t, 2), max_iters=5, tol=0)
+        res = cp_als(t, 2, engine=SplattAll(t, 2), max_iters=5, tol=0)
         path = str(tmp_path / "m.npz")
         res.model.save(path)
         loaded = KruskalTensor.load(path)

@@ -22,7 +22,7 @@ class TestDecomposeConvenience:
 
         t = low_rank_tensor((10, 9, 8), rank=2, nnz=500, noise=0.1, seed=0)
         r1 = Stef(t, 2, num_threads=2).decompose(max_iters=3, tol=0, seed=5)
-        r2 = cp_als(t, 2, backend=Stef(t, 2, num_threads=2), max_iters=3,
+        r2 = cp_als(t, 2, engine=Stef(t, 2, num_threads=2), max_iters=3,
                     tol=0, seed=5)
         assert np.allclose(r1.fits, r2.fits)
 

@@ -39,7 +39,7 @@ def _run(csf, factors, rank, threads, backend, plan, iters=1):
     counter = TrafficCounter(cache_elements=4096)
     engine = MemoizedMttkrp(
         csf, rank, plan=plan, num_threads=threads,
-        backend=backend, counter=counter,
+        exec_backend=backend, counter=counter,
     )
     try:
         outs = []
@@ -145,7 +145,7 @@ class TestBoundaryConflicts:
         factors = make_factors(tensor.shape, 4, seed=1)
         dense = tensor.to_dense()
         engine = MemoizedMttkrp(
-            csf, 4, plan=MemoPlan((1,)), num_threads=6, backend=backend
+            csf, 4, plan=MemoPlan((1,)), num_threads=6, exec_backend=backend
         )
         try:
             for mode, result in engine.iteration_results(factors):
@@ -178,7 +178,7 @@ class TestDegenerateSchedules:
         for backend in ("serial", "threads", "processes"):
             engine = MemoizedMttkrp(
                 csf, 3, plan=SAVE_NONE, num_threads=8,
-                partition="slice", backend=backend,
+                partition="slice", exec_backend=backend,
             )
             try:
                 for mode, result in engine.iteration_results(factors):
@@ -210,7 +210,7 @@ class TestDegenerateSchedules:
         factors = make_factors(tensor.shape, 2, seed=6)
         counter = TrafficCounter()
         engine = MemoizedMttkrp(
-            csf, 2, num_threads=12, backend="threads", counter=counter
+            csf, 2, num_threads=12, exec_backend="threads", counter=counter
         )
         engine.mode0(factors)
         totals = engine.shards.per_thread_totals()
@@ -290,7 +290,7 @@ class TestRaceSanitizer:
         factors = make_factors(tensor.shape, 4, seed=11)
         dense = tensor.to_dense()
         engine = MemoizedMttkrp(
-            csf, 4, plan=MemoPlan((1,)), num_threads=5, backend=backend
+            csf, 4, plan=MemoPlan((1,)), num_threads=5, exec_backend=backend
         )
         try:
             for _ in range(2):  # exercises the reset lifecycle too
@@ -339,7 +339,7 @@ class TestShardedCounterUnderRealThreads:
             for partition in ("nnz", "slice"):
                 engine = MemoizedMttkrp(
                     csf, 2, plan=plan, num_threads=4,
-                    partition=partition, backend=backend,
+                    partition=partition, exec_backend=backend,
                 )
                 try:
                     for mode, result in engine.iteration_results(factors):
