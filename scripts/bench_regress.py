@@ -238,6 +238,115 @@ def jit_speedup(args) -> int:
     return 0
 
 
+def serve_bench(args) -> int:
+    """Throughput + correctness arm for the ``repro serve`` daemon.
+
+    Boots an in-thread server, floods it with a mixed batch of Table-I
+    jobs over two exec backends, then **gates** every result against a
+    direct ``create_engine`` + ``cp_als`` run: factors and weights must
+    be bit-identical and the per-job traffic deltas exactly equal.
+    Reports requests/sec and the cache hit rate (advisory, like all wall
+    metrics here).  ``--log-dir`` points the server's spool there so the
+    JSONL request logs survive as a CI artifact.
+    """
+    import shutil
+    import tempfile
+
+    import numpy as np
+
+    from repro.serve import (
+        JobSpec, ServeClient, start_in_thread, wait_for_socket,
+    )
+
+    backends = ("serial", "threads")
+    workdir = tempfile.mkdtemp(prefix="repro-serve-bench-")
+    socket_path = os.path.join(workdir, "serve.sock")
+    spool = args.log_dir or os.path.join(workdir, "spool")
+    handle = start_in_thread(socket_path, spool, workers=args.workers)
+    wait_for_socket(socket_path)
+
+    specs = [
+        JobSpec(
+            tensor=tensor, nnz=args.nnz, tensor_seed=0, engine=method,
+            rank=args.rank, machine=args.machine, num_threads=args.threads,
+            exec_backend=backend, max_iters=args.iters, tol=0.0, seed=0,
+            compute_fit=False, client="bench",
+        )
+        for tensor in args.tensors
+        for method in args.methods
+        for backend in backends
+    ]
+    print(f"  submitting {len(specs)} jobs "
+          f"({len(args.tensors)} tensors x {len(args.methods)} methods "
+          f"x {len(backends)} backends) ...", flush=True)
+    t0 = time.perf_counter()
+    try:
+        with ServeClient(socket_path) as client:
+            job_ids = [client.submit(spec)["job_id"] for spec in specs]
+            jobs = [client.wait(job_id, timeout=600) for job_id in job_ids]
+            stats = client.stats()
+        elapsed = time.perf_counter() - t0
+    finally:
+        handle.stop()
+        # With --log-dir the spool lives outside workdir and survives;
+        # only the socket scratch directory goes.
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    failures = 0
+    for spec, job in zip(specs, jobs):
+        label = f"{spec.tensor}/{spec.engine}/{spec.exec_backend}"
+        if job["state"] != "done":
+            print(f"    FAIL {label}: {job['state']} ({job['error']})")
+            failures += 1
+            continue
+        tensor = generate(TABLE1_SPECS[spec.tensor], nnz=spec.nnz, seed=0)
+        machine = MACHINES[spec.machine]
+        counter = TrafficCounter(cache_elements=machine.cache_elements)
+        with create_engine(
+            spec.engine, tensor, spec.rank, machine=machine,
+            num_threads=spec.num_threads, exec_backend=spec.exec_backend,
+            counter=counter,
+        ) as engine:
+            direct = cp_als(
+                tensor, spec.rank, engine=engine, max_iters=spec.max_iters,
+                tol=spec.tol, seed=spec.seed, compute_fit=spec.compute_fit,
+            )
+        served = job["result"]
+        identical = np.array_equal(
+            np.asarray(served["weights"]), direct.model.weights
+        ) and all(
+            np.array_equal(np.asarray(got), want)
+            for got, want in zip(served["factors"], direct.model.factors)
+        )
+        totals = {"reads": counter.reads, "writes": counter.writes,
+                  "flops": counter.flops}
+        totals.update(counter.by_category)
+        traffic_equal = served["traffic"] == {
+            k: v for k, v in totals.items() if v
+        }
+        if not identical or not traffic_equal:
+            print(f"    FAIL {label}: "
+                  f"{'factors differ' if not identical else 'traffic differs'}")
+            failures += 1
+        else:
+            print(f"    ok   {label}: {served['iterations']} iters, "
+                  f"cache {job['cache']}")
+
+    print(f"\n  {len(specs)} requests in {elapsed:.2f}s = "
+          f"{len(specs) / elapsed:.2f} requests/sec "
+          f"(cache hit rate {stats['cache.hit_rate']:.0%}, "
+          f"workers {args.workers})")
+    if args.log_dir:
+        logs = os.path.join(args.log_dir, "logs")
+        count = len(os.listdir(logs)) if os.path.isdir(logs) else 0
+        print(f"  request logs: {count} JSONL files under {logs}")
+    if failures:
+        print(f"\n{failures} job(s) diverged from direct runs")
+        return 1
+    print("\nall served results bit-identical to direct runs")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -276,9 +385,21 @@ def main() -> int:
                        help="fail (instead of skip) when the compiled "
                        "tier is unavailable")
 
+    p_srv = sub.add_parser(
+        "serve", help="daemon throughput: gate bit-identity, report req/s"
+    )
+    add_workload(p_srv)
+    p_srv.add_argument("--workers", type=int, default=3,
+                       help="server worker threads (default 3)")
+    p_srv.add_argument("--log-dir", default=None, dest="log_dir",
+                       help="persist the server spool (JSONL request "
+                       "logs under <log-dir>/logs) for artifact upload")
+
     args = parser.parse_args()
     if args.command == "jit":
         return jit_speedup(args)
+    if args.command == "serve":
+        return serve_bench(args)
     if args.command == "record":
         data = collect(args)
         with open(args.output, "w") as fh:

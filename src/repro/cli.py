@@ -37,7 +37,13 @@ from .engines import create_engine, engine_names
 from .parallel import MACHINES
 from .parallel.counters import TrafficCounter
 from .parallel.executor import EXEC_BACKENDS
-from .trace import NULL_TRACER, Tracer, write_chrome_trace, write_jsonl
+from .trace import (
+    NULL_TRACER,
+    Tracer,
+    engine_run_meta,
+    write_chrome_trace,
+    write_jsonl,
+)
 from .tensor import (
     TABLE1_SPECS,
     CooTensor,
@@ -157,6 +163,69 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="run the kernel-invariant static analyzer"
     )
     add_lint_arguments(p_lint)
+
+    def add_socket_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--socket", default="repro-serve.sock",
+            help="unix socket the daemon listens on "
+            "(default ./repro-serve.sock)",
+        )
+
+    p_serve = sub.add_parser(
+        "serve", help="run the decomposition job daemon"
+    )
+    add_socket_arg(p_serve)
+    p_serve.add_argument(
+        "--spool", default="repro-spool",
+        help="state directory: job journals, checkpoints, request logs",
+    )
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="concurrent decomposition workers")
+    p_serve.add_argument("--max-depth", type=int, default=64,
+                         dest="max_depth",
+                         help="queue backlog bound (submits beyond it are "
+                         "refused with queue-full)")
+    p_serve.add_argument("--per-client", type=int, default=16,
+                         dest="per_client",
+                         help="max in-flight jobs per client name")
+    p_serve.add_argument("--cache-capacity", type=int, default=8,
+                         dest="cache_capacity",
+                         help="planned engines kept alive (LRU)")
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a decomposition job to a running daemon"
+    )
+    add_common(p_submit)
+    add_method_args(p_submit)
+    add_socket_arg(p_submit)
+    p_submit.add_argument("--iters", type=int, default=20)
+    p_submit.add_argument("--tol", type=float, default=1e-4)
+    p_submit.add_argument("--init", choices=["random", "hosvd"],
+                          default="random")
+    p_submit.add_argument("--priority", type=int, default=10,
+                          help="lower runs first (default 10)")
+    p_submit.add_argument("--client", default="cli",
+                          help="client name for per-client rate limiting")
+    p_submit.add_argument("--no-wait", action="store_true",
+                          help="return the job id immediately instead of "
+                          "waiting for the result")
+    p_submit.add_argument(
+        "--by-name", action="store_true",
+        help="send the tensor reference for server-side loading instead "
+        "of inlining the non-zeros (requires the daemon to reach it)",
+    )
+    p_submit.add_argument("--save", metavar="PATH", default=None,
+                          help="write the returned factors as .npz")
+
+    p_jobs = sub.add_parser(
+        "jobs", help="list a running daemon's jobs (or --stats)"
+    )
+    add_socket_arg(p_jobs)
+    p_jobs.add_argument("--stats", action="store_true",
+                        help="print the flat service metrics (queue depth, "
+                        "cache hit rate, per-engine latency) instead")
+    p_jobs.add_argument("--json", action="store_true",
+                        help="machine-readable output")
     return parser
 
 
@@ -226,6 +295,9 @@ def _cmd_decompose(args, out) -> int:
         **({"counter": counter} if counter is not None else {}),
     ) as engine:
         print(engine.describe(), file=out)
+        # Resolved configuration (actual jit tier, backend, threads) must
+        # be read while the engine is alive; it stamps the trace header.
+        run_meta = engine_run_meta(engine)
         result = cp_als(
             tensor,
             args.rank,
@@ -245,7 +317,7 @@ def _cmd_decompose(args, out) -> int:
         file=out,
     )
     if args.trace:
-        write_jsonl(tracer, args.trace)
+        write_jsonl(tracer, args.trace, **run_meta)
         chrome = _chrome_path(args.trace)
         write_chrome_trace(tracer, chrome)
         print(f"trace: {args.trace} (+ {chrome})", file=out)
@@ -337,6 +409,131 @@ def _cmd_reorder(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    import asyncio
+
+    from .serve import DecompositionServer
+
+    server = DecompositionServer(
+        args.socket, args.spool, workers=args.workers,
+        max_depth=args.max_depth, per_client=args.per_client,
+        cache_capacity=args.cache_capacity,
+    )
+    print(
+        f"serving on {args.socket} (spool {args.spool}, "
+        f"{args.workers} workers)",
+        file=out,
+    )
+    try:
+        asyncio.run(server.run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_submit(args, out) -> int:
+    from .serve import JobSpec, ServeClient, ServeError
+
+    options = dict(
+        engine=args.engine, rank=args.rank, machine=args.machine,
+        num_threads=args.threads, exec_backend=args.exec_backend,
+        jit=args.jit, max_iters=args.iters, tol=args.tol, init=args.init,
+        seed=args.seed, priority=args.priority, client=args.client,
+    )
+    if args.by_name:
+        spec = JobSpec(tensor=args.tensor, nnz=args.nnz,
+                       tensor_seed=args.seed, **options)
+    else:
+        # Inline the non-zeros: the daemon never needs to see our files,
+        # and the content fingerprint still matches a --by-name twin.
+        tensor = load_tensor(args.tensor, args.nnz, args.seed)
+        spec = JobSpec(
+            coo={
+                "indices": tensor.indices.tolist(),
+                "values": tensor.values.tolist(),
+                "shape": list(tensor.shape),
+            },
+            **options,
+        )
+    try:
+        with ServeClient(args.socket, connect_timeout=10.0) as client:
+            if args.no_wait:
+                response = client.submit(spec)
+                print(f"submitted {response['job_id']}", file=out)
+                return 0
+            job = client.submit(spec, wait=True)
+    except TimeoutError as exc:
+        print(f"refused: {exc}", file=out)
+        return 1
+    except ServeError as exc:
+        print(f"refused: {exc} ({exc.reason})", file=out)
+        return 1
+    if job["state"] != "done":
+        print(f"{job['job_id']}: {job['state']} ({job['error']})", file=out)
+        return 1
+    result = job["result"]
+    print(
+        f"{job['job_id']}: done in {result['seconds']:.3f}s, "
+        f"{result['iterations']} iterations, cache {job['cache']}",
+        file=out,
+    )
+    if result["fits"]:
+        print(f"  final fit {result['fits'][-1]:.5f}", file=out)
+    if args.save:
+        arrays = {"weights": np.asarray(result["weights"])}
+        for mode, factor in enumerate(result["factors"]):
+            arrays[f"factor_{mode}"] = np.asarray(factor)
+        np.savez_compressed(args.save, **arrays)
+        print(f"  factors -> {args.save}", file=out)
+    return 0
+
+
+def _cmd_jobs(args, out) -> int:
+    import json
+
+    from .serve import ServeClient
+
+    try:
+        client = ServeClient(args.socket, connect_timeout=10.0)
+    except TimeoutError as exc:
+        print(f"refused: {exc}", file=out)
+        return 1
+    with client:
+        if args.stats:
+            stats = client.stats()
+            if args.json:
+                print(json.dumps(stats, sort_keys=True), file=out)
+                return 0
+            for key in sorted(stats):
+                value = stats[key]
+                shown = f"{value:.4f}" if isinstance(value, float) else value
+                print(f"{key:32s} {shown}", file=out)
+            return 0
+        rows = client.jobs()
+    if args.json:
+        print(json.dumps(rows), file=out)
+        return 0
+    if not rows:
+        print("no jobs", file=out)
+        return 0
+    print(
+        f"{'job':28s} {'state':10s} {'engine':12s} {'backend':10s} "
+        f"{'cache':7s} {'iters':>5s} {'secs':>8s}",
+        file=out,
+    )
+    for row in rows:
+        iters = row.get("iterations")
+        secs = row.get("seconds")
+        print(
+            f"{row['job_id']:28s} {row['state']:10s} {row['engine']:12s} "
+            f"{row['exec_backend']:10s} {str(row['cache'] or '-'):7s} "
+            f"{iters if iters is not None else '-':>5} "
+            f"{f'{secs:.3f}' if secs is not None else '-':>8}",
+            file=out,
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -349,5 +546,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "profile": _cmd_profile,
         "reorder": _cmd_reorder,
         "lint": _cmd_lint,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
     }[args.command]
     return handler(args, out)

@@ -204,13 +204,30 @@ def cp_als(
     def _write_checkpoint(iteration: int, lambdas: np.ndarray) -> None:
         if checkpoint_path is None:
             return
+        import os
+
         arrays = {
             "iteration": np.int64(iteration),
             "weights": lambdas,
         }
         for m, f in enumerate(factors):
             arrays[f"factor_{m}"] = f
-        np.savez_compressed(checkpoint_path, **arrays)
+        parent = os.path.dirname(os.path.abspath(checkpoint_path))
+        os.makedirs(parent, exist_ok=True)
+        # Write-then-rename so a job killed mid-write can never leave a
+        # truncated .npz behind: resume either sees the previous complete
+        # checkpoint or the new one, nothing in between.  The temp file
+        # lives in the same directory so os.replace stays atomic (same
+        # filesystem); writing through a file object keeps numpy from
+        # appending a second .npz suffix to the temp name.
+        tmp_path = f"{checkpoint_path}.tmp-{os.getpid()}"
+        try:
+            with open(tmp_path, "wb") as fh:
+                np.savez_compressed(fh, **arrays)
+            os.replace(tmp_path, checkpoint_path)
+        finally:
+            if os.path.exists(tmp_path):
+                os.remove(tmp_path)
 
     fits: List[float] = []
     iter_seconds: List[float] = []

@@ -66,6 +66,41 @@ class EngineBase:
         ``processes`` exec backend; a no-op for engines without any)."""
         return None
 
+    # -- pooling (repro.serve engine cache) ----------------------------
+    @property
+    def leased(self) -> bool:
+        """Whether a pool has checked this engine out to a job."""
+        return getattr(self, "_lease_owner", None) is not None
+
+    @property
+    def lease_owner(self) -> Optional[str]:
+        """Identity of the current lease holder (``None`` when idle)."""
+        return getattr(self, "_lease_owner", None)
+
+    def lease(self, owner: str) -> "EngineBase":
+        """Check the engine out for exclusive use by ``owner``.
+
+        Pooled engines (the serve-layer fingerprint cache) are planned
+        once and reused across jobs, but a single engine must never run
+        two jobs concurrently — its counter snapshots and scoped tracer
+        target are per-job state.  Double-leasing is a pool bug, so it
+        raises rather than queues; stored via an attribute (not
+        ``__init__`` state) so every existing engine class participates
+        without a constructor change.
+        """
+        current = getattr(self, "_lease_owner", None)
+        if current is not None:
+            raise RuntimeError(
+                f"engine {self.name!r} already leased by {current!r}; "
+                f"refusing lease for {owner!r}"
+            )
+        self._lease_owner = owner
+        return self
+
+    def release(self) -> None:
+        """Return a leased engine to its pool (idempotent)."""
+        self._lease_owner = None
+
     def __enter__(self):
         return self
 

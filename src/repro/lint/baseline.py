@@ -1,11 +1,12 @@
 """Baseline files: track existing findings without silencing the rule.
 
 A suppression pragma says "this is fine"; a baseline entry says "this is
-known debt we have not paid down yet".  The flow analyses land on a tree
-with real, documented debt (the JIT worklist is *supposed* to have
-entries — it is the compiled-kernel PR's input), so CI compares against
-the checked-in ``lint-flow-baseline.json`` instead of demanding a clean
-run, while still failing the moment *new* findings appear.
+known debt we have not paid down yet".  The flow analyses originally
+landed on a tree with real, documented debt (the JIT worklist was the
+compiled-kernel PR's input), tracked in a checked-in baseline file; that
+debt has since been paid down to zero, the file is gone, and CI now
+demands a clean ``--flow`` run outright.  The mechanism remains for
+downstream forks carrying their own debt.
 
 Format: a JSON object mapping ``"<rule>::<path>::<message>"`` to an
 integer count.  Paths are normalized to start at the ``repro`` package
@@ -17,7 +18,7 @@ and a baseline that churns on every edit gets deleted, not maintained.
 
 Workflow (see CONTRIBUTING.md):
 
-* ``repro lint --flow --baseline lint-flow-baseline.json src/`` — findings
+* ``repro lint --flow --baseline <debt.json> src/`` — findings
   covered by the baseline are reported in the summary as *baselined* and
   do not affect the exit code; new ones fail as usual;
 * ``... --update-baseline`` — rewrite the file to the current findings

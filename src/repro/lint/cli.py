@@ -8,7 +8,7 @@ Usage::
     python -m repro.lint --format sarif --flow src/ > lint.sarif
     python -m repro.lint --select hot-path,dtype-discipline src/repro/ops
     python -m repro.lint --flow --ignore flow.jit-readiness src/
-    python -m repro.lint --flow --baseline lint-flow-baseline.json src/
+    python -m repro.lint --flow --baseline my-debt.json src/
     python -m repro.lint --list-rules
 
 Exit codes: 0 clean (baselined findings count as clean), 1 findings,

@@ -16,6 +16,9 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..kernels.dispatch import TIER_NUMPY, gather_multiply_rows, take_factor_rows
+from ..parallel.counters import NULL_COUNTER, TrafficCounter
+
 __all__ = ["khatri_rao", "khatri_rao_chain", "khatri_rao_excluding", "krp_rows"]
 
 
@@ -69,20 +72,39 @@ def khatri_rao_excluding(
 
 
 def krp_rows(
-    matrices: Sequence[np.ndarray], rows: Sequence[np.ndarray]
+    matrices: Sequence[np.ndarray],
+    rows: Sequence[np.ndarray],
+    tier: str = TIER_NUMPY,
+    counter: TrafficCounter = NULL_COUNTER,
 ) -> np.ndarray:
     """Row-wise KRP: Hadamard product of selected rows of each matrix.
 
     ``krp_rows([A, B], [ia, ib])[p] == A[ia[p]] * B[ib[p]]`` — the ``k_i``
     vectors of Algorithm 5, vectorized over ``p``.  This is the form every
     sparse kernel in this library consumes; the full KRP matrix is never
-    built.
+    built.  The gathers run through the flat-array kernel ABI
+    (:mod:`repro.kernels.dispatch`), so ``tier=`` selects the NumPy or
+    compiled implementation like every other ported kernel.
+
+    ``counter`` charges the factor-row gathers (one ``R``-row per selected
+    index per matrix, streamed) and the Hadamard arithmetic.  Callers that
+    account the gathers themselves — the dimension-tree backend brackets
+    its edge contractions with ``read_factor_rows`` charges, which also
+    apply the cache-reuse rule — must leave the default no-op counter to
+    avoid double counting.
     """
     if len(matrices) != len(rows):
         raise ValueError("need one row-index array per matrix")
     if not matrices:
         raise ValueError("need at least one matrix")
-    out = np.asarray(matrices[0])[np.asarray(rows[0])]
+    first = np.asarray(matrices[0])
+    idx0 = np.asarray(rows[0])
+    rank = int(first.shape[1])
+    gathered = sum(int(np.asarray(r).shape[0]) for r in rows)
+    counter.read(float(gathered * rank), "factor")
+    counter.flop(float((len(matrices) - 1) * idx0.shape[0] * rank), "sweep")
+    out = take_factor_rows(first, idx0, 0, idx0.shape[0], tier=tier)
     for m, r in zip(matrices[1:], rows[1:]):
-        out = out * np.asarray(m)[np.asarray(r)]
+        r = np.asarray(r)
+        out = gather_multiply_rows(out, np.asarray(m), r, 0, r.shape[0], tier=tier)
     return out

@@ -32,6 +32,7 @@ from ..kernels.dispatch import (
     segment_sum_rows,
     value_gather_rows,
 )
+from ..parallel.counters import NULL_COUNTER, TrafficCounter
 from ..tensor.coo import CooTensor
 from .krp import krp_rows
 
@@ -126,16 +127,27 @@ def ttm_last_mode(
     factor: np.ndarray,
     mode_order: Sequence[int],
     tier: str = TIER_NUMPY,
+    counter: TrafficCounter = NULL_COUNTER,
 ) -> PartialTensor:
     """TTM contracting the *last* mode of ``mode_order`` with ``factor``.
 
     ``factor`` must be the factor matrix of mode ``mode_order[-1]``.  The
     output fibers are the distinct prefixes ``mode_order[:-1]``; each
     carries ``sum_l T[..., l] * factor[l, :]``.
+
+    ``counter`` charges the contraction's streamed legs — the coordinate
+    walk (``structure``), the value stream (``values``), and the factor
+    row gathers (``factor``).  Callers that bracket this helper with their
+    own charges must leave the default no-op counter.
     """
     mode_order = list(mode_order)
     if len(mode_order) != tensor.ndim:
         raise ValueError("mode_order must cover every tensor mode")
+    rank = int(np.asarray(factor).shape[1])
+    counter.read(float(tensor.ndim * tensor.nnz), "structure")
+    counter.read(float(tensor.nnz), "values")
+    counter.read(float(tensor.nnz * rank), "factor")
+    counter.flop(float(2 * tensor.nnz * rank), "sweep")
     sorted_t = tensor.sorted_by(mode_order)
     prefix_modes = mode_order[:-1]
     prefix = sorted_t.indices[prefix_modes]
@@ -227,7 +239,7 @@ def contract_modes(
     if not keep:
         raise ValueError("contraction would remove every mode; use "
                          "reduce_to_matrix for the final step")
-    weights = krp_rows(list(factors), [partial.indices[p] for p in positions])
+    weights = krp_rows(list(factors), [partial.indices[p] for p in positions], tier=tier)
     contrib = partial.data * weights
     remaining = partial.indices[keep]
     order = np.lexsort(remaining[::-1])
@@ -264,7 +276,7 @@ def reduce_to_matrix(
         _scatter_rows(out, partial.indices[t_pos], partial.data, tier=tier)
         return out
     positions = [partial.modes.index(m) for m in contract]
-    weights = krp_rows(list(factors), [partial.indices[p] for p in positions])
+    weights = krp_rows(list(factors), [partial.indices[p] for p in positions], tier=tier)
     _scatter_rows(out, partial.indices[t_pos], partial.data * weights, tier=tier)
     return out
 
@@ -286,7 +298,7 @@ def mttv_reduce(
         raise ValueError(
             f"need {lead.shape[0]} leading factors, got {len(factors)}"
         )
-    k = krp_rows(list(factors), list(lead))
+    k = krp_rows(list(factors), list(lead), tier=tier)
     out = np.zeros((partial.shape[-1], partial.rank))
     _scatter_rows(out, partial.indices[-1], partial.data * k, tier=tier)
     return out

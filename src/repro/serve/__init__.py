@@ -1,0 +1,49 @@
+"""repro.serve — an async decomposition job service over pooled engines.
+
+``repro serve`` boots a daemon that accepts decomposition requests over
+a local unix socket (line-delimited JSON), runs them on a bounded
+worker pool of :func:`repro.engines.create_engine` engines, and streams
+status/results back.  The pieces:
+
+* :mod:`.protocol` — the NDJSON wire format, :class:`JobSpec`, and the
+  tensor-content fingerprint that keys the engine cache;
+* :mod:`.queue` — priority admission with backpressure and per-client
+  in-flight limits;
+* :mod:`.cache` — an LRU of planned engines: a resubmitted identical
+  request reuses the plan and shm segments (no ``serve.plan`` span in
+  its trace);
+* :mod:`.jobs` / :mod:`.pool` — journaled, checkpoint-resumable job
+  execution (a killed worker's job continues from its last complete
+  checkpoint on restart);
+* :mod:`.server` / :mod:`.client` — the asyncio daemon and the
+  synchronous client behind ``repro submit`` / ``repro jobs``.
+"""
+
+from .cache import CacheEntry, EngineCache
+from .client import ServeClient, ServeError, wait_for_socket
+from .jobs import Job, Spool
+from .pool import build_tensor, execute_job
+from .protocol import JobSpec, cache_key, tensor_fingerprint
+from .queue import ClientLimitExceeded, JobQueue, QueueFull
+from .server import DecompositionServer, ServerHandle, start_in_thread
+
+__all__ = [
+    "CacheEntry",
+    "ClientLimitExceeded",
+    "DecompositionServer",
+    "EngineCache",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "QueueFull",
+    "ServeClient",
+    "ServeError",
+    "ServerHandle",
+    "Spool",
+    "build_tensor",
+    "cache_key",
+    "execute_job",
+    "start_in_thread",
+    "tensor_fingerprint",
+    "wait_for_socket",
+]

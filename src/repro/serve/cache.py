@@ -1,0 +1,153 @@
+"""Fingerprint-keyed LRU cache of planned engines.
+
+Planning an engine is the expensive part of a request — CSF/mode-order
+construction, memoization planning, and (under the ``processes``
+backend) allocating shared-memory segments all happen at
+``create_engine`` time.  The cache keys on
+:func:`~repro.serve.protocol.cache_key` (tensor content fingerprint +
+plan options), so a resubmitted identical request reuses the planned
+engine and its shm segments outright: no re-plan, no re-allocation —
+and its trace carries no ``serve.plan`` span, which is how the e2e test
+distinguishes a hit from a miss.
+
+Concurrency contract: worker threads call :meth:`lease` / release under
+the cache's internal lock, and an entry checked out to one job is
+**never** handed to a second (``EngineBase.lease`` enforces
+exclusivity).  A concurrent request for a busy entry gets ``None`` back
+and runs on an ephemeral engine instead ("bypass" in the stats) —
+correctness first, reuse when possible.  Eviction (LRU, capacity-bound)
+closes the engine, releasing its shm segments; leased entries are
+exempt until released.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..engines.base import EngineBase
+from ..trace.tracer import ScopedTracer
+
+__all__ = ["CacheEntry", "EngineCache"]
+
+
+@dataclass
+class CacheEntry:
+    """One cached engine plus the per-engine state jobs swap in and out."""
+
+    key: str
+    engine: EngineBase
+    tensor: object                 # the CooTensor the engine was planned for
+    scoped_tracer: ScopedTracer    # the tracer the engine was built with
+    counter: object                # the TrafficCounter the engine charges
+    hits: int = 0
+    plan_seconds: float = 0.0
+
+
+class EngineCache:
+    def __init__(self, capacity: int = 8) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        # Lifetime counters for the stats endpoint.
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def lease(self, key: str, owner: str) -> Tuple[Optional[CacheEntry], str]:
+        """Check out the entry for ``key``, or report why not.
+
+        Returns ``(entry, "hit")`` with the engine leased to ``owner``
+        when the planned engine is available.  ``(None, "miss")`` means
+        the caller must build the engine (and :meth:`offer` it back);
+        ``(None, "bypass")`` means the entry exists but is busy with
+        another job — build an ephemeral engine and close it after the
+        run rather than serializing unrelated requests.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None, "miss"
+            if entry.engine.leased:
+                self.bypasses += 1
+                return None, "bypass"
+            self._entries.move_to_end(key)
+            entry.engine.lease(owner)
+            entry.hits += 1
+            self.hits += 1
+            return entry, "hit"
+
+    def offer(self, entry: CacheEntry, owner: str) -> CacheEntry:
+        """Insert a freshly-built engine, leased to ``owner``.
+
+        If another worker raced us to the same key, the incumbent stays
+        (it may already be leased out) and the newcomer is still returned
+        leased — it simply runs as an unpooled engine and is closed on
+        release via :meth:`release`'s ownership check.  Over-capacity
+        inserts evict the least-recently-used idle entry.
+        """
+        entry.engine.lease(owner)
+        with self._lock:
+            if entry.key in self._entries:
+                return entry  # lost the race; run ephemeral
+            self._entries[entry.key] = entry
+            self._entries.move_to_end(entry.key)
+            self._evict_over_capacity()
+            return entry
+
+    def release(self, entry: CacheEntry) -> None:
+        """Return a leased entry; close it if it is not (any longer) the
+        cached engine for its key (race loser or evicted-while-leased)."""
+        entry.engine.release()
+        with self._lock:
+            cached = self._entries.get(entry.key)
+            if cached is not entry:
+                entry.engine.close()
+                return
+            self._evict_over_capacity()
+
+    # ------------------------------------------------------------------
+    def _evict_over_capacity(self) -> None:
+        """Drop idle LRU entries until within capacity (lock held)."""
+        if len(self._entries) <= self.capacity:
+            return
+        for key in list(self._entries):
+            if len(self._entries) <= self.capacity:
+                break
+            entry = self._entries[key]
+            if entry.engine.leased:
+                continue  # busy; reconsidered on its release
+            del self._entries[key]
+            entry.engine.close()
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close every cached engine (server shutdown)."""
+        with self._lock:
+            for entry in self._entries.values():
+                entry.engine.close()
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            size = len(self._entries)
+        lookups = self.hits + self.misses + self.bypasses
+        return {
+            "cache.size": float(size),
+            "cache.capacity": float(self.capacity),
+            "cache.hits": float(self.hits),
+            "cache.misses": float(self.misses),
+            "cache.bypasses": float(self.bypasses),
+            "cache.evictions": float(self.evictions),
+            "cache.hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }

@@ -1,0 +1,142 @@
+"""Synchronous client for the decomposition service.
+
+One connection, request/response in lockstep: every method writes one
+NDJSON line and reads one back.  Responses with ``ok: false`` raise
+:class:`ServeError` carrying the server's ``reason`` (``queue-full``,
+``client-limit``, ``timeout``, ...), so callers handle backpressure with
+an ``except`` rather than by inspecting dicts.
+
+:func:`submit_tensor` is the convenience path ``repro submit`` uses: it
+inlines a :class:`~repro.tensor.coo.CooTensor`'s arrays into the spec
+so the server never needs filesystem access to the client's data, and
+the content fingerprint still matches a path-submitted twin.
+
+:func:`wait_for_socket` polls until a freshly-forked server starts
+accepting — the standard preamble for tests and scripted batch runs.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Dict, List, Optional
+
+from .protocol import JobSpec, encode
+
+__all__ = ["ServeClient", "ServeError", "wait_for_socket"]
+
+
+class ServeError(RuntimeError):
+    """An ``ok: false`` response; ``reason`` and ``retry`` mirror it."""
+
+    def __init__(self, error: str, reason: str = "error",
+                 retry: bool = False) -> None:
+        super().__init__(error)
+        self.reason = reason
+        self.retry = retry
+
+
+def wait_for_socket(path: str, timeout: float = 30.0) -> None:
+    """Block until a server accepts connections on ``path``."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as probe:
+                probe.connect(path)
+                return
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"no server on {path} after {timeout}s")
+            time.sleep(0.05)
+
+
+class ServeClient:
+    def __init__(self, socket_path: str, timeout: Optional[float] = None,
+                 connect_timeout: float = 0.0) -> None:
+        # connect_timeout > 0 tolerates a daemon that is still booting
+        # (`repro serve ... &` followed by an immediate submit): poll for
+        # the socket instead of failing on the first connect.
+        if connect_timeout > 0:
+            wait_for_socket(socket_path, timeout=connect_timeout)
+        self.socket_path = socket_path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(socket_path)
+        self._reader = self._sock.makefile("rb")
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        self._reader.close()
+        self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- transport -----------------------------------------------------
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        self._sock.sendall(encode(message))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok", False):
+            raise ServeError(
+                response.get("error", "request failed"),
+                reason=response.get("reason", "error"),
+                retry=bool(response.get("retry", False)),
+            )
+        return response
+
+    # -- operations ----------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"})["ok"])
+
+    def submit(self, spec: JobSpec, wait: bool = False) -> Dict[str, Any]:
+        """Submit a job; returns ``{"job_id": ...}`` or, with ``wait``,
+        the full terminal job record."""
+        response = self.request(
+            {"op": "submit", "spec": spec.to_dict(), "wait": wait},
+        )
+        return response["job"] if wait else response
+
+    def submit_tensor(self, tensor, wait: bool = False,
+                      **spec_fields: Any) -> Dict[str, Any]:
+        """Submit with the tensor's COO arrays inlined into the spec."""
+        spec = JobSpec(
+            coo={
+                "indices": tensor.indices.tolist(),
+                "values": tensor.values.tolist(),
+                "shape": list(tensor.shape),
+            },
+            **spec_fields,
+        )
+        return self.submit(spec, wait=wait)
+
+    def wait(self, job_id: str,
+             timeout: Optional[float] = None) -> Dict[str, Any]:
+        message: Dict[str, Any] = {"op": "wait", "job_id": job_id}
+        if timeout is not None:
+            message["timeout"] = timeout
+        return self.request(message)["job"]
+
+    def status(self, job_id: str, result: bool = False) -> Dict[str, Any]:
+        return self.request(
+            {"op": "status", "job_id": job_id, "result": result},
+        )["job"]
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self.request({"op": "jobs"})["jobs"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})["stats"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.request({"op": "cancel", "job_id": job_id})
+
+    def shutdown(self) -> None:
+        self.request({"op": "shutdown"})

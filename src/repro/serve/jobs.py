@@ -1,0 +1,181 @@
+"""Job records, journal persistence, and the on-disk spool layout.
+
+A job's full lifecycle lives in two places:
+
+* in memory, as a :class:`Job` (the dispatcher's unit of work), and
+* on disk, as an atomically-written JSON **journal** under the spool
+  directory — the crash-recovery record.
+
+Spool layout (one directory per server instance)::
+
+    <spool>/jobs/<job_id>.json         -- journal (state + spec + result)
+    <spool>/checkpoints/<job_id>.npz   -- cp_als checkpoint (resumable)
+    <spool>/logs/<job_id>.jsonl        -- per-request trace record
+
+On restart the server replays the journals: jobs that were ``queued``
+or ``running`` when the previous process died are re-enqueued with
+``resume`` semantics — the worker passes the job's checkpoint path to
+``cp_als(resume=True)``, so a killed mid-run job continues from its last
+complete checkpoint instead of starting over, and its cumulative
+iteration count keeps climbing.  Journal writes use the same
+tmp + ``os.replace`` discipline as the checkpoints, so a journal is
+always a complete JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .protocol import JobSpec
+
+__all__ = [
+    "ACTIVE_STATES",
+    "TERMINAL_STATES",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "Job",
+    "Spool",
+]
+
+#: Lifecycle: queued -> running -> done | failed | cancelled.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+ACTIVE_STATES = (QUEUED, RUNNING)
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+@dataclass
+class Job:
+    """One submitted decomposition request and everything known about it."""
+
+    job_id: str
+    spec: JobSpec
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    attempts: int = 0
+    cache: Optional[str] = None      # "hit" | "miss" | "bypass"
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def summary(self) -> Dict[str, Any]:
+        """The compact row ``repro jobs`` prints (no factor payload)."""
+        out = {
+            "job_id": self.job_id,
+            "state": self.state,
+            "client": self.spec.client,
+            "engine": self.spec.engine,
+            "tensor": self.spec.tensor or "<inline>",
+            "rank": self.spec.rank,
+            "exec_backend": self.spec.exec_backend,
+            "priority": self.spec.priority,
+            "attempts": self.attempts,
+            "cache": self.cache,
+            "error": self.error,
+        }
+        if self.result is not None:
+            out["iterations"] = self.result.get("iterations")
+            out["seconds"] = self.result.get("seconds")
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "spec": self.spec.to_dict(),
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "cache": self.cache,
+            "error": self.error,
+            "result": self.result,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Job":
+        data = dict(data)
+        data["spec"] = JobSpec.from_dict(data["spec"])
+        return cls(**data)
+
+
+class Spool:
+    """The server's on-disk state directory (journals, checkpoints, logs)."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        for sub in ("jobs", "checkpoints", "logs"):
+            os.makedirs(os.path.join(self.root, sub), exist_ok=True)
+
+    # -- paths ---------------------------------------------------------
+    def journal_path(self, job_id: str) -> str:
+        return os.path.join(self.root, "jobs", f"{job_id}.json")
+
+    def checkpoint_path(self, job_id: str) -> str:
+        return os.path.join(self.root, "checkpoints", f"{job_id}.npz")
+
+    def log_path(self, job_id: str) -> str:
+        return os.path.join(self.root, "logs", f"{job_id}.jsonl")
+
+    # -- journal I/O ---------------------------------------------------
+    def write_journal(self, job: Job) -> None:
+        """Persist the job record atomically (tmp + rename)."""
+        path = self.journal_path(job.job_id)
+        tmp = f"{path}.tmp-{os.getpid()}"
+        try:
+            with open(tmp, "w") as fh:
+                json.dump(job.to_dict(), fh)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+
+    def load_jobs(self) -> List[Job]:
+        """Every journaled job, oldest submission first."""
+        jobs: List[Job] = []
+        jobs_dir = os.path.join(self.root, "jobs")
+        for name in os.listdir(jobs_dir):
+            if not name.endswith(".json"):
+                continue
+            with open(os.path.join(jobs_dir, name)) as fh:
+                jobs.append(Job.from_dict(json.load(fh)))
+        jobs.sort(key=lambda j: j.submitted_at)
+        return jobs
+
+    def recoverable_jobs(self) -> List[Job]:
+        """Jobs a previous server process left unfinished.
+
+        ``queued`` jobs were accepted but never ran; ``running`` jobs
+        died with the worker.  Both come back as ``queued`` (the
+        dispatcher bumps ``attempts`` at every run start, so the journal's
+        count already includes the dead attempt) — the worker's
+        ``resume=True`` picks up whatever checkpoint the dead attempt
+        managed to write.
+        """
+        recovered: List[Job] = []
+        for job in self.load_jobs():
+            if job.state in ACTIVE_STATES:
+                job.state = QUEUED
+                recovered.append(job)
+        return recovered
+
+    def clear_checkpoint(self, job_id: str) -> None:
+        path = self.checkpoint_path(job_id)
+        if os.path.exists(path):
+            os.remove(path)

@@ -14,20 +14,30 @@ Off by default: the shared :data:`NULL_TRACER` makes every span a no-op.
 
 from .export import (
     chrome_trace_events,
+    engine_run_meta,
     flat_metrics,
     read_jsonl,
     write_chrome_trace,
     write_jsonl,
 )
-from .tracer import MAIN_LANE, NULL_TRACER, NullTracer, SpanRecord, Tracer
+from .tracer import (
+    MAIN_LANE,
+    NULL_TRACER,
+    NullTracer,
+    ScopedTracer,
+    SpanRecord,
+    Tracer,
+)
 
 __all__ = [
     "MAIN_LANE",
     "NULL_TRACER",
     "NullTracer",
+    "ScopedTracer",
     "SpanRecord",
     "Tracer",
     "chrome_trace_events",
+    "engine_run_meta",
     "flat_metrics",
     "read_jsonl",
     "write_chrome_trace",

@@ -22,12 +22,31 @@ from typing import Any, Dict, List, Optional
 from .tracer import MAIN_LANE, SpanRecord, Tracer
 
 __all__ = [
+    "engine_run_meta",
     "flat_metrics",
     "read_jsonl",
     "write_jsonl",
     "chrome_trace_events",
     "write_chrome_trace",
 ]
+
+
+def engine_run_meta(engine: Any) -> Dict[str, Any]:
+    """Self-describing run metadata read off a constructed engine.
+
+    Stamped into the JSONL header record (and the serve request logs) so
+    a trace file alone answers "what configuration produced this":
+    the engine's registry name, the *resolved* kernel tier actually
+    executing the sweeps (``numpy`` or ``numba`` — not the ``jit=``
+    request, which ``auto`` makes ambiguous), the pool-execution backend,
+    and the effective thread count.
+    """
+    return {
+        "engine": getattr(engine, "name", type(engine).__name__),
+        "jit_tier": getattr(engine, "kernel_tier", "numpy"),
+        "exec_backend": getattr(engine, "exec_backend", None) or "serial",
+        "num_threads": int(getattr(engine, "num_threads", 1)),
+    }
 
 
 def flat_metrics(tracer: Tracer, **extra: Any) -> Dict[str, Any]:

@@ -37,7 +37,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Union
 
-__all__ = ["MAIN_LANE", "SpanRecord", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = [
+    "MAIN_LANE",
+    "SpanRecord",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "ScopedTracer",
+]
 
 #: Lane id of coordinator-side (main thread) spans; simulated thread
 #: ``th`` uses lane ``th`` (Chrome export maps lanes to tid rows).
@@ -319,3 +326,43 @@ class NullTracer(Tracer):
 
 #: Shared do-nothing tracer; pass a real :class:`Tracer` to opt in.
 NULL_TRACER = NullTracer()
+
+
+class ScopedTracer(Tracer):
+    """A tracer-shaped forwarder whose real target can be swapped.
+
+    Engines bind their tracer once at construction, but a pooled engine
+    (``repro.serve``'s fingerprint cache) outlives any single request and
+    each request wants its own span record.  The pool constructs the
+    engine with a ``ScopedTracer`` and, for the duration of a job, points
+    ``target`` at that job's private :class:`Tracer`; between jobs the
+    target rests on :data:`NULL_TRACER`, so an unattributed kernel call
+    costs the same as a traced-off one.
+
+    Only span *recording* is scoped: ``span``/``record_span`` and the
+    ``enabled`` fast-path flag forward to the current target.  Swapping
+    is a single attribute store (atomic under the GIL), and the pool
+    leases an engine to at most one job at a time, so no lock is needed.
+    """
+
+    def __init__(self, target: Tracer = NULL_TRACER) -> None:
+        super().__init__()
+        self.target: Tracer = target
+
+    @property  # type: ignore[override]
+    def enabled(self) -> bool:
+        return self.target.enabled
+
+    def span(self, name: str, *, counter=None, lane: int = MAIN_LANE,
+             **attrs: Attr):
+        return self.target.span(name, counter=counter, lane=lane, **attrs)
+
+    def record_span(self, name: str, t0: float, t1: float, *,
+                    lane: int = MAIN_LANE,
+                    parent_id: Optional[int] = None,
+                    **attrs: Attr) -> None:
+        self.target.record_span(name, t0, t1, lane=lane,
+                                parent_id=parent_id, **attrs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ScopedTracer(target={self.target!r})"

@@ -155,3 +155,90 @@ class TestCheckpointRoundTrip:
             with np.load(path) as data:
                 assert int(data["iteration"]) == res.iterations
         assert counts == [2, 4, 6]
+
+
+class TestAtomicCheckpointWrites:
+    """The checkpoint file must appear atomically (tmp + rename) so a
+    killed job can never leave a truncated .npz behind, and missing
+    parent directories are created rather than crashing the run."""
+
+    def test_parent_directory_created(self, workload, tmp_path):
+        path = str(tmp_path / "spool" / "jobs" / "ck.npz")
+        cp_als(
+            workload, 2, engine=SplattAll(workload, 2), max_iters=2, tol=0,
+            checkpoint_path=path, checkpoint_every=1,
+        )
+        assert os.path.exists(path)
+        with np.load(path) as data:
+            assert int(data["iteration"]) == 2
+
+    def test_no_temp_file_left_behind(self, workload, tmp_path):
+        path = str(tmp_path / "ck.npz")
+        cp_als(
+            workload, 2, engine=SplattAll(workload, 2), max_iters=3, tol=0,
+            checkpoint_path=path, checkpoint_every=1,
+        )
+        leftovers = [p for p in os.listdir(tmp_path) if p != "ck.npz"]
+        assert leftovers == []
+
+    def test_every_observed_checkpoint_is_complete(self, workload, tmp_path, monkeypatch):
+        """Snapshot the checkpoint path at every write numpy performs:
+        whenever the final path exists it must load as a complete model
+        (rename is the only way content appears under the final name)."""
+        path = tmp_path / "ck.npz"
+        observed = []
+        real_savez = np.savez_compressed
+
+        def spying_savez(target, **arrays):
+            # While the new checkpoint is being serialized, the final
+            # path must hold either nothing or the previous complete one.
+            if path.exists():
+                with np.load(str(path)) as data:
+                    observed.append(int(data["iteration"]))
+            assert not str(getattr(target, "name", target)).endswith("ck.npz"), (
+                "checkpoint serialized directly into the final path"
+            )
+            return real_savez(target, **arrays)
+
+        monkeypatch.setattr(np, "savez_compressed", spying_savez)
+        cp_als(
+            workload, 2, engine=SplattAll(workload, 2), max_iters=4, tol=0,
+            checkpoint_path=str(path), checkpoint_every=1,
+        )
+        # Writes at iterations 1..4 plus the end-of-run write; during
+        # write k the visible file held the previous complete checkpoint.
+        assert observed == [1, 2, 3, 4]
+        with np.load(str(path)) as data:
+            assert int(data["iteration"]) == 4
+
+    def test_interrupted_write_preserves_previous_checkpoint(
+        self, workload, tmp_path, monkeypatch
+    ):
+        """A crash mid-serialization leaves the previous complete
+        checkpoint in place (and no partial file under the final name)."""
+        path = tmp_path / "ck.npz"
+        cp_als(
+            workload, 2, engine=SplattAll(workload, 2), max_iters=2, tol=0,
+            checkpoint_path=str(path), checkpoint_every=1,
+        )
+        with np.load(str(path)) as data:
+            iteration_before = int(data["iteration"])
+            weights_before = data["weights"].copy()
+
+        real_savez = np.savez_compressed
+
+        def crashing_savez(target, **arrays):
+            real_savez(target, **arrays)  # bytes hit the temp file...
+            raise KeyboardInterrupt  # ...then the worker dies pre-rename
+
+        monkeypatch.setattr(np, "savez_compressed", crashing_savez)
+        with pytest.raises(KeyboardInterrupt):
+            cp_als(
+                workload, 2, engine=SplattAll(workload, 2), max_iters=4,
+                tol=0, checkpoint_path=str(path), checkpoint_every=1,
+                resume=True,
+            )
+        with np.load(str(path)) as data:
+            assert int(data["iteration"]) == iteration_before
+            assert np.array_equal(data["weights"], weights_before)
+        assert [p for p in os.listdir(tmp_path) if p != "ck.npz"] == []

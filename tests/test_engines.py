@@ -221,3 +221,29 @@ class TestTypedFactory:
             res = eng.mttkrp_level(factors3, 0)
         with create_engine("stef", tensor3, 4) as plain:
             assert np.array_equal(res, plain.mttkrp_level(factors3, 0))
+
+
+class TestLeasing:
+    """Pooling primitives: the serve-layer cache checks engines out per
+    job; exclusivity is enforced, release is idempotent."""
+
+    def test_lease_release_cycle(self):
+        tensor = random_tensor((8, 7, 6), nnz=100, seed=0)
+        with create_engine("stef", tensor, 3) as eng:
+            assert not eng.leased and eng.lease_owner is None
+            assert eng.lease("job-1") is eng  # chains for pool code
+            assert eng.leased and eng.lease_owner == "job-1"
+            eng.release()
+            assert not eng.leased
+            eng.release()  # idempotent: releasing an idle engine is fine
+            eng.lease("job-2")  # and it can be checked out again
+            assert eng.lease_owner == "job-2"
+
+    def test_double_lease_raises(self):
+        tensor = random_tensor((8, 7, 6), nnz=100, seed=0)
+        with create_engine("splatt-all", tensor, 3) as eng:
+            eng.lease("job-1")
+            with pytest.raises(RuntimeError, match="already leased by 'job-1'"):
+                eng.lease("job-2")
+            # The failed lease must not have clobbered the holder.
+            assert eng.lease_owner == "job-1"

@@ -1,0 +1,161 @@
+"""Satellite coverage: the fingerprint-keyed engine cache.
+
+Pins the cache's contract at the worker level (no server in the loop):
+
+* a resubmitted identical request (same tensor content, same plan
+  options) **hits** — the very same engine object runs the job and the
+  results are bit-identical to the first run;
+* perturbing the tensor's values or any plan-affecting option misses;
+* eviction closes the engine, releasing its ``/dev/shm/repro-*``
+  segments under the ``processes`` backend.
+"""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.serve import EngineCache, Job, JobSpec, Spool, execute_job
+from repro.serve.protocol import cache_key, tensor_fingerprint
+from repro.tensor import CooTensor, random_tensor
+
+
+def inline_coo(tensor) -> dict:
+    return {
+        "indices": tensor.indices.tolist(),
+        "values": tensor.values.tolist(),
+        "shape": list(tensor.shape),
+    }
+
+
+def make_spec(tensor, **overrides) -> JobSpec:
+    options = dict(
+        coo=inline_coo(tensor), engine="stef", rank=4, max_iters=3,
+        tol=0.0, seed=0, exec_backend="serial",
+    )
+    options.update(overrides)
+    return JobSpec(**options)
+
+
+def run(spool, cache, spec, job_id) -> Job:
+    return execute_job(Job(job_id=job_id, spec=spec), spool, cache)
+
+
+@pytest.fixture
+def spool(tmp_path):
+    return Spool(str(tmp_path / "spool"))
+
+
+class TestFingerprint:
+    def test_content_identity_ignores_submission_order(self):
+        """The same non-zeros listed in a different order fingerprint
+        equally once canonicalized — a path-loaded tensor and its
+        inlined twin share one cache entry."""
+        tensor = random_tensor((8, 7, 6), nnz=100, seed=1)
+        perm = np.random.default_rng(0).permutation(tensor.nnz)
+        shuffled = CooTensor.from_arrays(
+            tensor.indices[:, perm], tensor.values[perm], tensor.shape,
+        )
+        assert tensor_fingerprint(
+            tensor.indices, tensor.values, tensor.shape
+        ) == tensor_fingerprint(
+            shuffled.indices, shuffled.values, shuffled.shape
+        )
+
+    def test_value_perturbation_changes_fingerprint(self):
+        tensor = random_tensor((8, 7, 6), nnz=100, seed=1)
+        values = tensor.values.copy()
+        values[0] = np.nextafter(values[0], np.inf)  # one ulp
+        assert tensor_fingerprint(
+            tensor.indices, tensor.values, tensor.shape
+        ) != tensor_fingerprint(tensor.indices, values, tensor.shape)
+
+    def test_plan_options_in_key_trajectory_options_not(self):
+        tensor = random_tensor((8, 7, 6), nnz=100, seed=1)
+        fp = tensor_fingerprint(tensor.indices, tensor.values, tensor.shape)
+        base = make_spec(tensor)
+        assert cache_key(fp, base) == cache_key(fp, make_spec(tensor))
+        # ALS-trajectory options reuse the same planned engine...
+        assert cache_key(fp, base) == cache_key(
+            fp, make_spec(tensor, max_iters=50, tol=1e-6, seed=9)
+        )
+        # ...plan-affecting options do not.
+        assert cache_key(fp, base) != cache_key(
+            fp, make_spec(tensor, rank=5)
+        )
+        assert cache_key(fp, base) != cache_key(
+            fp, make_spec(tensor, exec_backend="threads")
+        )
+
+
+class TestHitReuse:
+    def test_hit_reuses_engine_identity_bit_identical_results(self, spool):
+        tensor = random_tensor((10, 8, 6), nnz=150, seed=2)
+        cache = EngineCache(capacity=4)
+        first = run(spool, cache, make_spec(tensor), "job-1")
+        assert first.cache == "miss"
+        engine_after_first = next(iter(cache._entries.values())).engine
+
+        second = run(spool, cache, make_spec(tensor), "job-2")
+        assert second.cache == "hit"
+        engine_after_second = next(iter(cache._entries.values())).engine
+        assert engine_after_second is engine_after_first  # same object
+
+        # Reuse must not perturb the numerics: bit-identical everything.
+        assert first.result["weights"] == second.result["weights"]
+        for a, b in zip(first.result["factors"], second.result["factors"]):
+            assert a == b
+        assert cache.stats()["cache.hits"] == 1.0
+        cache.close()
+
+    def test_perturbed_values_miss(self, spool):
+        tensor = random_tensor((10, 8, 6), nnz=150, seed=2)
+        cache = EngineCache(capacity=4)
+        run(spool, cache, make_spec(tensor), "job-1")
+        values = tensor.values.copy()
+        values[0] = np.nextafter(values[0], np.inf)
+        perturbed = CooTensor.from_arrays(
+            tensor.indices, values, tensor.shape
+        )
+        job = run(spool, cache, make_spec(perturbed), "job-2")
+        assert job.cache == "miss"
+        assert len(cache) == 2
+        cache.close()
+
+    def test_perturbed_options_miss(self, spool):
+        tensor = random_tensor((10, 8, 6), nnz=150, seed=2)
+        cache = EngineCache(capacity=4)
+        run(spool, cache, make_spec(tensor), "job-1")
+        job = run(spool, cache, make_spec(tensor, rank=5), "job-2")
+        assert job.cache == "miss"
+        # But trajectory-only changes still hit the same plan.
+        job = run(
+            spool, cache, make_spec(tensor, max_iters=5, seed=7), "job-3"
+        )
+        assert job.cache == "hit"
+        cache.close()
+
+
+class TestEviction:
+    def test_eviction_closes_engine_and_frees_shm(self, spool):
+        """Capacity-1 cache under the processes backend: inserting a
+        second tensor's engine must close the first, releasing its
+        shared-memory segments; cache.close() releases the rest."""
+        baseline = set(glob.glob("/dev/shm/repro-*"))
+        cache = EngineCache(capacity=1)
+        t1 = random_tensor((10, 8, 6), nnz=150, seed=2)
+        t2 = random_tensor((9, 7, 5), nnz=130, seed=5)
+
+        run(spool, cache, make_spec(t1, exec_backend="processes"), "job-1")
+        after_first = set(glob.glob("/dev/shm/repro-*")) - baseline
+        assert after_first  # the pooled engine holds live segments
+
+        run(spool, cache, make_spec(t2, exec_backend="processes"), "job-2")
+        assert cache.evictions == 1
+        assert len(cache) == 1
+        # job-1's engine was evicted and closed: its segments are gone.
+        after_second = set(glob.glob("/dev/shm/repro-*")) - baseline
+        assert not (after_first & after_second)
+
+        cache.close()
+        assert set(glob.glob("/dev/shm/repro-*")) == baseline
